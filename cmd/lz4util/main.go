@@ -1,0 +1,114 @@
+// Command lz4util compresses or decompresses files with this
+// repository's from-scratch LZ4 implementation, using the same frame
+// format the storage servers persist.
+//
+// Usage:
+//
+//	lz4util -c  [-level 3] [-in file] [-out file]   # compress one frame
+//	lz4util -c -stream [-block 65536] ...           # block-streamed container
+//	lz4util -d  [-in file] [-out file]              # decompress (either format)
+//	lz4util -stat -in file                          # frame info
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/disagg/smartds/internal/lz4"
+)
+
+func main() {
+	compress := flag.Bool("c", false, "compress")
+	decompress := flag.Bool("d", false, "decompress")
+	stat := flag.Bool("stat", false, "print frame header info")
+	level := flag.Int("level", int(lz4.LevelDefault), "compression level 1..9")
+	stream := flag.Bool("stream", false, "use the block-streamed container")
+	blockSize := flag.Int("block", lz4.DefaultBlockSize, "stream block size")
+	inPath := flag.String("in", "-", "input file (- for stdin)")
+	outPath := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	data, err := readAll(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *compress && *stream:
+		var buf bytes.Buffer
+		w, err := lz4.NewWriter(&buf, lz4.Level(*level), *blockSize)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		if err := writeAll(*outPath, buf.Bytes()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d -> %d bytes (%.2fx, %d-byte blocks)\n",
+			len(data), buf.Len(), lz4.Ratio(len(data), buf.Len()), *blockSize)
+	case *compress:
+		frame, err := lz4.EncodeFrame(data, lz4.Level(*level))
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeAll(*outPath, frame); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d -> %d bytes (%.2fx)\n",
+			len(data), len(frame), lz4.Ratio(len(data), len(frame)))
+	case *decompress && *stream:
+		orig, err := io.ReadAll(lz4.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeAll(*outPath, orig); err != nil {
+			fatal(err)
+		}
+	case *decompress:
+		orig, err := lz4.DecodeFrame(data)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeAll(*outPath, orig); err != nil {
+			fatal(err)
+		}
+	case *stat:
+		fi, err := lz4.ParseFrameHeader(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("original: %d bytes\ncompressed: %d bytes\nratio: %.2fx\nstored raw: %v\ncrc32c: %08x\n",
+			fi.OrigSize, fi.CompSize, lz4.Ratio(fi.OrigSize, fi.CompSize), fi.Stored, fi.CRC)
+	default:
+		fmt.Fprintln(os.Stderr, "one of -c, -d, -stat required")
+		os.Exit(2)
+	}
+}
+
+func readAll(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func writeAll(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lz4util:", err)
+	os.Exit(1)
+}

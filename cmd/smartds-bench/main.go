@@ -1,0 +1,65 @@
+// Command smartds-bench regenerates the paper's evaluation tables and
+// figures from the simulated system.
+//
+// Usage:
+//
+//	smartds-bench -exp fig7          # one experiment
+//	smartds-bench -exp all           # the whole evaluation
+//	smartds-bench -exp fig10 -quick  # fast, modeled-payload mode
+//	smartds-bench -list              # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/disagg/smartds/internal/experiments"
+)
+
+// csvOut switches table rendering to CSV.
+var csvOut bool
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "shrink windows and use modeled payloads")
+	seed := flag.Uint64("seed", 42, "root random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.BoolVar(&csvOut, "csv", false, "emit tables as CSV")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	if *exp == "all" {
+		for _, name := range experiments.Names() {
+			runOne(name, opt)
+		}
+	} else {
+		runOne(*exp, opt)
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runOne(name string, opt experiments.Options) {
+	t0 := time.Now()
+	tables, err := experiments.Run(name, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, tbl := range tables {
+		if csvOut {
+			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[%s done in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,159 @@
+// Command smartds-sim runs one free-form cluster scenario and prints
+// client-observed results plus middle-tier resource usage.
+//
+// Usage:
+//
+//	smartds-sim -kind smartds -ports 2 -workers 4 -window 128 -measure 50ms
+//	smartds-sim -kind cpu -workers 48 -reads 0.2 -open-rate 1e6
+//	smartds-sim -config examples/scenarios/smartds-mixed.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/trace"
+)
+
+// runScenario executes a JSON-described scenario end to end.
+func runScenario(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc, err := cluster.ParseScenario(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg, err := sc.ClusterConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	c := cluster.New(cfg)
+	if sc.Maintenance {
+		m := c.MT.StartMaintenance(middletier.MaintenanceConfig{}, c.Storage)
+		defer m.Stop()
+	}
+	res := c.Run(sc.WorkloadConfig())
+	printResults(c, res)
+	if res.Errors > 0 || res.VerifyMismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+func main() {
+	kindFlag := flag.String("kind", "smartds", "middle-tier design: cpu | acc | bf2 | smartds")
+	ports := flag.Int("ports", 1, "SmartDS ports")
+	workers := flag.Int("workers", 2, "host CPU cores serving I/O")
+	window := flag.Int("window", 64, "closed-loop outstanding requests per client")
+	openRate := flag.Float64("open-rate", 0, "open-loop request rate (req/s); 0 = closed loop")
+	reads := flag.Float64("reads", 0, "read fraction")
+	bypass := flag.Float64("bypass", 0, "latency-sensitive (no-compression) fraction")
+	storageN := flag.Int("storage", 3, "storage servers")
+	clients := flag.Int("clients", 1, "compute clients")
+	warmup := flag.Duration("warmup", 5*time.Millisecond, "virtual warmup")
+	measure := flag.Duration("measure", 30*time.Millisecond, "virtual measurement window")
+	seed := flag.Uint64("seed", 42, "root seed")
+	modeled := flag.Bool("modeled", false, "model payload sizes instead of moving real blocks")
+	ddioOff := flag.Bool("no-ddio", false, "disable DDIO (Acc baseline)")
+	maintenance := flag.Bool("maintenance", false, "run background maintenance services")
+	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
+	traceSpans := flag.Bool("trace", false, "record request spans and print a latency breakdown")
+
+	flag.Parse()
+
+	if *configPath != "" {
+		runScenario(*configPath)
+		return
+	}
+
+	var kind middletier.Kind
+	switch *kindFlag {
+	case "cpu", "cpu-only":
+		kind = middletier.CPUOnly
+	case "acc", "accel":
+		kind = middletier.Accel
+	case "bf2":
+		kind = middletier.BF2
+	case "smartds", "sds":
+		kind = middletier.SmartDS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kindFlag)
+		os.Exit(2)
+	}
+
+	cfg := cluster.DefaultConfig(kind)
+	cfg.Seed = *seed
+	cfg.Functional = !*modeled
+	cfg.NumStorage = *storageN
+	cfg.NumClients = *clients
+	cfg.MT.Workers = *workers
+	cfg.MT.Ports = *ports
+	cfg.MT.DDIO = !*ddioOff
+	if kind != middletier.SmartDS && kind != middletier.BF2 {
+		cfg.MT.Ports = 1
+	}
+
+	var tracer *trace.Tracer
+	if *traceSpans {
+		tracer = trace.New(1 << 16)
+		cfg.Trace = tracer
+	}
+	c := cluster.New(cfg)
+	if *maintenance {
+		m := c.MT.StartMaintenance(middletier.MaintenanceConfig{}, c.Storage)
+		defer m.Stop()
+	}
+
+	start := time.Now()
+	res := c.Run(cluster.Workload{
+		Window:         *window,
+		Rate:           *openRate,
+		Warmup:         warmup.Seconds(),
+		Measure:        measure.Seconds(),
+		ReadFraction:   *reads,
+		BypassFraction: *bypass,
+	})
+
+	printResults(c, res)
+	if tracer != nil {
+		spanTbl := metrics.NewTable("request spans", "span", "count", "mean", "max")
+		for _, s := range tracer.Spans() {
+			spanTbl.AddRow(s.Label, s.Count, metrics.FormatDuration(s.Mean), metrics.FormatDuration(s.Max))
+		}
+		fmt.Println(spanTbl.String())
+	}
+	fmt.Fprintf(os.Stderr, "wall time: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if res.Errors > 0 || res.VerifyMismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// printResults renders the standard result table.
+func printResults(c *cluster.Cluster, res cluster.Results) {
+	tbl := metrics.NewTable(fmt.Sprintf("%s scenario", c.KindName()),
+		"metric", "value")
+	tbl.AddRow("throughput", metrics.FormatGbps(res.Throughput))
+	tbl.AddRow("requests/s", fmt.Sprintf("%.0f", res.ReqPerSec))
+	tbl.AddRow("requests measured", res.Requests)
+	tbl.AddRow("errors", res.Errors)
+	tbl.AddRow("avg latency", metrics.FormatDuration(res.Lat.Mean))
+	tbl.AddRow("p50", metrics.FormatDuration(res.Lat.P50))
+	tbl.AddRow("p99", metrics.FormatDuration(res.Lat.P99))
+	tbl.AddRow("p999", metrics.FormatDuration(res.Lat.P999))
+	tbl.AddRow("host mem read", metrics.FormatGbps(res.MemReadRate))
+	tbl.AddRow("host mem write", metrics.FormatGbps(res.MemWriteRate))
+	tbl.AddRow("PCIe H2D (all devices)", metrics.FormatGbps(res.TotalPCIeH2D()))
+	tbl.AddRow("PCIe D2H (all devices)", metrics.FormatGbps(res.TotalPCIeD2H()))
+	tbl.AddRow("read verify mismatches", res.VerifyMismatches)
+	fmt.Println(tbl.String())
+}

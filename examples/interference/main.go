@@ -1,0 +1,55 @@
+// Interference: demonstrate §5.3 — when co-located maintenance work
+// (modeled with the Intel-MLC-style injector) hammers host memory, the
+// CPU-only middle tier collapses while SmartDS is unaffected, because
+// AAMS keeps payloads out of host memory entirely.
+//
+//	go run ./examples/interference
+package main
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/mem"
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+)
+
+func run(kind middletier.Kind, workers, window int, pressure bool) cluster.Results {
+	cfg := cluster.DefaultConfig(kind)
+	cfg.MT.Workers = workers
+	c := cluster.New(cfg)
+	if pressure {
+		mlc := mem.NewMLC(c.Env, c.MT.Mem, mem.MLCConfig{Workers: 16, Delay: 0, Chunk: 256 << 10})
+		mlc.Start()
+	}
+	return c.Run(cluster.Workload{Window: window, Warmup: 4e-3, Measure: 15e-3})
+}
+
+func main() {
+	fmt.Println("memory-pressure isolation: 16-worker MLC injector on the middle-tier server")
+	fmt.Printf("%-10s %-10s %-14s %-12s %s\n", "design", "MLC", "throughput", "avg lat", "p999")
+	for _, cfgRow := range []struct {
+		name    string
+		kind    middletier.Kind
+		workers int
+		window  int
+	}{
+		{"CPU-only", middletier.CPUOnly, 32, 256},
+		{"SmartDS-1", middletier.SmartDS, 2, 128},
+	} {
+		for _, pressure := range []bool{false, true} {
+			res := run(cfgRow.kind, cfgRow.workers, cfgRow.window, pressure)
+			mlcLabel := "off"
+			if pressure {
+				mlcLabel = "max"
+			}
+			fmt.Printf("%-10s %-10s %-14s %-12s %s\n",
+				cfgRow.name, mlcLabel,
+				metrics.FormatGbps(res.Throughput),
+				metrics.FormatDuration(res.Lat.Mean),
+				metrics.FormatDuration(res.Lat.P999))
+		}
+	}
+	fmt.Println("\nSmartDS holds steady: its payloads never touch the contended bus.")
+}

@@ -1,0 +1,3 @@
+module github.com/disagg/smartds
+
+go 1.22

@@ -1,0 +1,213 @@
+// Package cluster assembles the full disaggregated block storage
+// system — compute clients (VM storage agents), one middle-tier server
+// of any Figure 1 design, and the storage back ends — and drives
+// workloads against it, measuring client-observed throughput and
+// latency the way the paper's evaluation does.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/corpus"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/rng"
+	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/storage"
+	"github.com/disagg/smartds/internal/trace"
+)
+
+// Config assembles one cluster.
+type Config struct {
+	Seed       uint64
+	MT         middletier.Config
+	NumStorage int
+	NumClients int
+	// Functional moves real corpus blocks through the system (LZ4
+	// compressed for real, CRC-verified at the storage servers). When
+	// false, payload sizes are modeled (fast large sweeps).
+	Functional bool
+	Fabric     netsim.Config
+	Disk       storage.DiskConfig
+	// ClientPortRate is the compute-server NIC rate.
+	ClientPortRate float64
+	// Trace, when set, records request lifecycle spans.
+	Trace *trace.Tracer
+}
+
+// DefaultConfig wires the paper's testbed: one middle-tier server,
+// three storage servers, one load-generating compute server.
+func DefaultConfig(kind middletier.Kind) Config {
+	return Config{
+		Seed:           42,
+		MT:             middletier.DefaultConfig(kind),
+		NumStorage:     3,
+		NumClients:     1,
+		Functional:     true,
+		Fabric:         netsim.DefaultConfig(),
+		Disk:           storage.DefaultDisk(),
+		ClientPortRate: 12.5e9,
+	}
+}
+
+// Cluster is the assembled system.
+type Cluster struct {
+	Env     *sim.Env
+	Fabric  *netsim.Fabric
+	MT      *middletier.Server
+	Storage []*storage.Server
+	Clients []*Client
+
+	cfg    Config
+	corpus *corpus.Corpus
+	rng    *rng.Source
+	geo    blockstore.Geometry
+}
+
+// New builds and wires a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.NumStorage <= 0 {
+		cfg.NumStorage = 3
+	}
+	if cfg.NumClients <= 0 {
+		cfg.NumClients = 1
+	}
+	if cfg.ClientPortRate <= 0 {
+		cfg.ClientPortRate = 12.5e9
+	}
+	env := sim.NewEnv()
+	fabric := netsim.NewFabric(env, cfg.Fabric)
+	c := &Cluster{
+		Env:    env,
+		Fabric: fabric,
+		cfg:    cfg,
+		rng:    rng.New(cfg.Seed),
+		geo:    blockstore.DefaultGeometry(),
+	}
+	if cfg.Functional {
+		c.corpus = corpus.New(cfg.Seed + 1)
+	}
+
+	c.MT = middletier.New(env, fabric, cfg.MT)
+	for i := 0; i < cfg.NumStorage; i++ {
+		srv := storage.NewServer(env, fabric, netsim.Addr(fmt.Sprintf("ss%d", i)),
+			cfg.ClientPortRate, cfg.MT.Transport, cfg.Disk)
+		c.Storage = append(c.Storage, srv)
+	}
+	c.MT.ConnectStorage(c.Storage)
+
+	// SmartDS with multiple ports serves clients per port; give every
+	// port at least one client so all ports carry load.
+	clients := cfg.NumClients
+	if cfg.MT.Kind == middletier.SmartDS && clients < cfg.MT.Ports {
+		clients = cfg.MT.Ports
+	}
+	if cfg.MT.Kind == middletier.BF2 && clients < cfg.MT.Ports {
+		clients = cfg.MT.Ports
+	}
+	for i := 0; i < clients; i++ {
+		c.Clients = append(c.Clients, c.newClient(i))
+	}
+	return c
+}
+
+// Client is one compute-server load generator (a VM storage agent).
+type Client struct {
+	c     *Cluster
+	id    int
+	stack *rdma.Stack
+	qp    *rdma.QP
+	rng   *rng.Source
+
+	nextReq  uint64
+	inflight map[uint64]*issued
+
+	// Measurement state.
+	measuring  bool
+	Lat        *metrics.Histogram
+	Done       uint64  // completed requests while measuring
+	BytesMoved float64 // payload bytes of completed requests while measuring
+	Errors     uint64
+	verifyMism uint64
+
+	// onComplete refills the closed-loop window.
+	onComplete func()
+	nextLBA    uint64
+	// Read-verification tracking.
+	writtenLBAs []uint64
+	writtenData map[uint64][]byte
+}
+
+type issued struct {
+	at     sim.Time
+	size   float64
+	block  []byte // write: the block (tracked on completion); read: expected data
+	lba    uint64
+	isRead bool
+}
+
+func (c *Cluster) newClient(id int) *Client {
+	stack := rdma.NewStack(c.Env, c.Fabric.NewPort(netsim.Addr(fmt.Sprintf("vm%d", id)), c.cfg.ClientPortRate), c.cfg.MT.Transport)
+	cl := &Client{
+		c:        c,
+		id:       id,
+		stack:    stack,
+		rng:      c.rng.Split(),
+		inflight: make(map[uint64]*issued),
+		Lat:      metrics.NewLatencyHistogram(),
+	}
+	cl.qp = c.MT.ConnectClient(stack)
+	cl.qp.OnRecv = cl.onReply
+	return cl
+}
+
+// onReply completes one request: record latency, verify read data.
+func (cl *Client) onReply(m *rdma.Message) {
+	if m.Data == nil || len(m.Data) < blockstore.HeaderSize {
+		return
+	}
+	h, err := blockstore.Decode(m.Data)
+	if err != nil {
+		return
+	}
+	iss, ok := cl.inflight[h.ReqID]
+	if !ok {
+		return
+	}
+	delete(cl.inflight, h.ReqID)
+	op := "write"
+	if iss.isRead {
+		op = "read"
+	}
+	cl.c.cfg.Trace.End(cl.c.Env.Now(), "client"+itoa(cl.id), op, h.ReqID)
+	if h.Status != blockstore.StatusOK {
+		cl.Errors++
+	} else if iss.isRead {
+		if iss.block != nil && len(m.Data) > blockstore.HeaderSize {
+			got := m.Data[blockstore.HeaderSize:]
+			if lz4.Checksum(got) != lz4.Checksum(iss.block) {
+				cl.verifyMism++
+			}
+		}
+	} else {
+		// The write is durable; reads may target it now (block is nil
+		// for modeled payloads: the read then skips verification).
+		cl.rememberWrite(iss.lba, iss.block)
+	}
+	if cl.measuring {
+		cl.Lat.Record(cl.c.Env.Now() - iss.at)
+		cl.Done++
+		cl.BytesMoved += iss.size
+	}
+	if cl.onComplete != nil {
+		cl.onComplete()
+	}
+}
+
+// VerifyMismatches reports reads whose data did not match what was
+// written (must be zero).
+func (cl *Client) VerifyMismatches() uint64 { return cl.verifyMism }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/middletier"
+)
+
+func TestScenarioMinimal(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{"kind": "smartds"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.ClusterConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MT.Kind != middletier.SmartDS {
+		t.Fatalf("kind = %v", cfg.MT.Kind)
+	}
+	// Defaults survive.
+	if cfg.NumStorage != 3 || cfg.MT.Replicas != 3 || !cfg.Functional {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+	w := sc.WorkloadConfig()
+	if w.Warmup <= 0 || w.Measure <= 0 {
+		t.Fatalf("workload defaults missing: %+v", w)
+	}
+}
+
+func TestScenarioFull(t *testing.T) {
+	data := []byte(`{
+		"kind": "acc",
+		"seed": 7,
+		"workers": 4,
+		"replicas": 2,
+		"compression_level": 6,
+		"ddio": false,
+		"port_gbps": 200,
+		"storage_servers": 5,
+		"clients": 2,
+		"functional": false,
+		"disk_gbps": 8,
+		"window": 64,
+		"warmup_ms": 3,
+		"measure_ms": 9,
+		"read_fraction": 0.25,
+		"bypass_fraction": 0.1,
+		"maintenance": true
+	}`)
+	sc, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sc.ClusterConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MT.Kind != middletier.Accel || cfg.MT.Workers != 4 || cfg.MT.Replicas != 2 {
+		t.Fatalf("mt config wrong: %+v", cfg.MT)
+	}
+	if cfg.MT.Level != lz4.Level(6) || cfg.MT.DDIO || cfg.MT.PortRate != 25e9 {
+		t.Fatalf("mt knobs wrong: %+v", cfg.MT)
+	}
+	if cfg.NumStorage != 5 || cfg.NumClients != 2 || cfg.Functional || cfg.Disk.BytesPerSec != 8e9 {
+		t.Fatalf("cluster shape wrong: %+v", cfg)
+	}
+	w := sc.WorkloadConfig()
+	if w.Window != 64 || math.Abs(w.Warmup-3e-3) > 1e-12 || math.Abs(w.Measure-9e-3) > 1e-12 ||
+		w.ReadFraction != 0.25 || w.BypassFraction != 0.1 {
+		t.Fatalf("workload wrong: %+v", w)
+	}
+	if !sc.Maintenance {
+		t.Fatal("maintenance flag lost")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []string{
+		`{"kind": "gpu"}`,
+		`{"compression_level": 12}`,
+		`{"read_fraction": 1.5}`,
+		`{"bypass_fraction": -0.1}`,
+		`not json`,
+	}
+	for _, data := range bad {
+		if _, err := ParseScenario([]byte(data)); err == nil {
+			t.Errorf("scenario %q accepted", data)
+		}
+	}
+}
+
+func TestScenarioRunsEndToEnd(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"kind": "smartds", "functional": false,
+		"window": 16, "warmup_ms": 2, "measure_ms": 6
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := sc.ClusterConfig()
+	c := New(cfg)
+	res := c.Run(sc.WorkloadConfig())
+	if res.Requests == 0 || res.Errors != 0 {
+		t.Fatalf("scenario run failed: %+v", res)
+	}
+}

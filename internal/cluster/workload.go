@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/mem"
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/pcie"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// Workload drives the cluster. With Rate == 0 each client runs a
+// closed loop of Window outstanding requests (the paper's "one server
+// keeps issuing write requests"); otherwise requests arrive open-loop
+// Poisson at Rate requests/second total.
+type Workload struct {
+	Window         int
+	Rate           float64
+	Warmup         float64
+	Measure        float64
+	ReadFraction   float64
+	BypassFraction float64
+}
+
+// DefaultWorkload returns a saturating write-only closed loop.
+func DefaultWorkload() Workload {
+	return Workload{
+		Window:  32,
+		Warmup:  5e-3,
+		Measure: 30e-3,
+	}
+}
+
+// Results summarizes one run.
+type Results struct {
+	Duration   float64
+	Requests   uint64
+	Errors     uint64
+	Throughput float64 // payload bytes/second (the paper's Gbps axis)
+	ReqPerSec  float64
+	Lat        metrics.Summary
+
+	// Middle-tier resource rates over the measurement window.
+	MemReadRate, MemWriteRate float64
+	NICH2D, NICD2H            float64 // host NIC PCIe (CPUOnly/Accel)
+	AccelH2D, AccelD2H        float64 // accelerator card PCIe (Accel)
+	SDSH2D, SDSD2H            float64 // SmartDS card PCIe
+	VerifyMismatches          uint64
+}
+
+// TotalPCIeH2D sums every PCIe endpoint's host-to-device rate.
+func (r Results) TotalPCIeH2D() float64 { return r.NICH2D + r.AccelH2D + r.SDSH2D }
+
+// TotalPCIeD2H sums every PCIe endpoint's device-to-host rate.
+func (r Results) TotalPCIeD2H() float64 { return r.NICD2H + r.AccelD2H + r.SDSD2H }
+
+// issue sends one request from the client.
+func (cl *Client) issue(w Workload) {
+	cl.nextReq++
+	id := cl.nextReq
+	c := cl.c
+	blockSize := c.cfg.MT.BlockSize
+
+	isRead := w.ReadFraction > 0 && cl.rng.Float64() < w.ReadFraction && len(cl.writtenLBAs) > 0
+	op := "write"
+	if isRead {
+		op = "read"
+	}
+	c.cfg.Trace.Begin(c.Env.Now(), "client"+itoa(cl.id), op, id)
+	if isRead {
+		lba := cl.writtenLBAs[cl.rng.Intn(len(cl.writtenLBAs))]
+		loc := c.geo.Resolve(lba)
+		h := blockstore.Header{
+			Op: blockstore.OpRead, VMID: uint64(cl.id), ReqID: id,
+			SegmentID: loc.SegmentID, ChunkID: loc.ChunkID, BlockOff: loc.BlockOff,
+		}
+		cl.inflight[id] = &issued{at: c.Env.Now(), size: float64(blockSize), isRead: true, block: cl.writtenData[lba]}
+		cl.qp.SendSized(h.Encode(), blockstore.HeaderSize)
+		return
+	}
+
+	// Each client writes unique LBAs (its id in the high bits), so a
+	// read always targets a fully durable, unambiguous version.
+	lba := uint64(cl.id)<<40 | cl.nextLBA
+	cl.nextLBA++
+	loc := c.geo.Resolve(lba)
+	h := blockstore.Header{
+		Op: blockstore.OpWrite, VMID: uint64(cl.id), ReqID: id,
+		SegmentID: loc.SegmentID, ChunkID: loc.ChunkID, BlockOff: loc.BlockOff,
+		OrigLen: uint32(blockSize),
+	}
+	if w.BypassFraction > 0 && cl.rng.Float64() < w.BypassFraction {
+		h.Flags |= blockstore.FlagLatencySensitive
+	}
+	iss := &issued{at: c.Env.Now(), size: float64(blockSize), lba: lba}
+	cl.inflight[id] = iss
+	if c.cfg.Functional {
+		block := c.corpus.Block(blockSize)
+		h.CRC = lz4.Checksum(block)
+		iss.block = block
+		cl.qp.Send(blockstore.Message(&h, block))
+	} else {
+		cl.qp.SendSized(h.Encode(), float64(blockstore.HeaderSize+blockSize))
+	}
+}
+
+// rememberWrite tracks written blocks so reads can verify round trips
+// (bounded to keep memory flat on long runs).
+func (cl *Client) rememberWrite(lba uint64, block []byte) {
+	const maxTracked = 4096
+	if cl.writtenData == nil {
+		cl.writtenData = make(map[uint64][]byte)
+	}
+	if _, seen := cl.writtenData[lba]; !seen {
+		if len(cl.writtenLBAs) >= maxTracked {
+			// Overwrite a random tracked slot.
+			i := cl.rng.Intn(len(cl.writtenLBAs))
+			delete(cl.writtenData, cl.writtenLBAs[i])
+			cl.writtenLBAs[i] = lba
+		} else {
+			cl.writtenLBAs = append(cl.writtenLBAs, lba)
+		}
+	}
+	cl.writtenData[lba] = block
+}
+
+// Run executes the workload and returns measured results.
+func (c *Cluster) Run(w Workload) Results {
+	if w.Window <= 0 && w.Rate <= 0 {
+		w.Window = DefaultWorkload().Window
+	}
+	if w.Measure <= 0 {
+		w.Measure = DefaultWorkload().Measure
+	}
+
+	running := true
+	for _, cl := range c.Clients {
+		cl.Lat.Reset()
+		cl.Done = 0
+		cl.BytesMoved = 0
+	}
+
+	if w.Rate > 0 {
+		perClient := w.Rate / float64(len(c.Clients))
+		for _, cl := range c.Clients {
+			cl := cl
+			c.Env.Go("client.open", func(p *sim.Proc) {
+				for running {
+					p.Sleep(cl.rng.Exp(1 / perClient))
+					if !running {
+						return
+					}
+					cl.issue(w)
+				}
+			})
+		}
+	} else {
+		for _, cl := range c.Clients {
+			cl := cl
+			cl.onComplete = func() {
+				if running {
+					cl.issue(w)
+				}
+			}
+			c.Env.Go("client.closed", func(p *sim.Proc) {
+				for i := 0; i < w.Window; i++ {
+					cl.issue(w)
+				}
+			})
+		}
+	}
+
+	var memA, memB mem.BandwidthSnapshot
+	var nicA, nicB, accA, accB, sdsA, sdsB pcie.Snapshot
+	snapshot := func() (mem.BandwidthSnapshot, pcie.Snapshot, pcie.Snapshot, pcie.Snapshot) {
+		var nic, acc, sds pcie.Snapshot
+		if c.MT.NIC() != nil {
+			nic = c.MT.NIC().PCIe().Snapshot()
+		}
+		if c.MT.AccelPCIe() != nil {
+			acc = c.MT.AccelPCIe().Snapshot()
+		}
+		if c.MT.Device() != nil {
+			sds = c.MT.Device().PCIe().Snapshot()
+		}
+		return c.MT.Mem.Snapshot(), nic, acc, sds
+	}
+
+	start := c.Env.Now()
+	c.Env.At(start+w.Warmup, func() {
+		memA, nicA, accA, sdsA = snapshot()
+		for _, cl := range c.Clients {
+			cl.measuring = true
+		}
+	})
+	end := start + w.Warmup + w.Measure
+	c.Env.At(end, func() {
+		memB, nicB, accB, sdsB = snapshot()
+		for _, cl := range c.Clients {
+			cl.measuring = false
+		}
+		running = false
+	})
+	// Drain grace period so inflight requests unwind.
+	c.Env.Run(end + 5e-3)
+
+	res := Results{Duration: w.Measure}
+	lat := metrics.NewLatencyHistogram()
+	for _, cl := range c.Clients {
+		res.Requests += cl.Done
+		res.Errors += cl.Errors
+		res.Throughput += cl.BytesMoved / w.Measure
+		res.VerifyMismatches += cl.VerifyMismatches()
+		lat.Merge(cl.Lat)
+	}
+	res.ReqPerSec = float64(res.Requests) / w.Measure
+	res.Lat = lat.Summarize()
+	res.MemReadRate, res.MemWriteRate = mem.RatesBetween(memA, memB)
+	res.NICH2D, res.NICD2H = pcie.RatesBetween(nicA, nicB)
+	res.AccelH2D, res.AccelD2H = pcie.RatesBetween(accA, accB)
+	res.SDSH2D, res.SDSD2H = pcie.RatesBetween(sdsA, sdsB)
+	return res
+}
+
+// KindName returns the middle-tier label used in tables.
+func (c *Cluster) KindName() string {
+	k := c.cfg.MT.Kind
+	if k == middletier.SmartDS {
+		return "SmartDS-" + itoa(c.cfg.MT.Ports)
+	}
+	return k.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

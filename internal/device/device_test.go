@@ -1,0 +1,307 @@
+package device
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/rng"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+func newMem(e *sim.Env, capacity int) *Memory {
+	return NewMemory(e, "hbm", MemoryConfig{Capacity: capacity, BytesPerSec: 1e9, AccessLatency: 1e-9})
+}
+
+func TestAllocFreeBasic(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 1024)
+	b, err := m.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 256 || len(b.Bytes()) != 256 {
+		t.Fatalf("buffer size %d", b.Size())
+	}
+	if m.InUse() != 256 {
+		t.Fatalf("in use %d", m.InUse())
+	}
+	b.Free()
+	if m.InUse() != 0 {
+		t.Fatalf("in use after free %d", m.InUse())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 1000)
+	a, _ := m.Alloc(600)
+	if _, err := m.Alloc(500); err != ErrOutOfMemory {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	b, err := m.Alloc(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free()
+	b.Free()
+	// Full capacity available again after coalescing.
+	c, err := m.Alloc(1000)
+	if err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+	c.Free()
+}
+
+func TestCoalescingMiddleFree(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 300)
+	a, _ := m.Alloc(100)
+	b, _ := m.Alloc(100)
+	c, _ := m.Alloc(100)
+	a.Free()
+	c.Free()
+	b.Free() // middle free must merge all three spans
+	if _, err := m.Alloc(300); err != nil {
+		t.Fatalf("full-arena alloc after scattered frees: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 128)
+	b, _ := m.Alloc(64)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestInvalidAllocSize(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 128)
+	if _, err := m.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := m.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestBuffersAreDisjoint(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 1024)
+	a, _ := m.Alloc(128)
+	b, _ := m.Alloc(128)
+	for i := range a.Bytes() {
+		a.Bytes()[i] = 0xAA
+	}
+	for _, v := range b.Bytes() {
+		if v == 0xAA {
+			t.Fatal("buffers overlap")
+		}
+	}
+}
+
+func TestAllocatorProperty(t *testing.T) {
+	// Random alloc/free sequences must preserve: no overlap, inUse
+	// accounting exact, and full capacity recoverable at the end.
+	f := func(seed uint16) bool {
+		e := sim.NewEnv()
+		const capacity = 1 << 16
+		m := newMem(e, capacity)
+		r := rng.New(uint64(seed))
+		live := []*Buffer{}
+		total := 0
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && r.Float64() < 0.45 {
+				i := r.Intn(len(live))
+				total -= live[i].Size()
+				live[i].Free()
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				sz := 1 + r.Intn(2048)
+				b, err := m.Alloc(sz)
+				if err != nil {
+					continue
+				}
+				live = append(live, b)
+				total += sz
+			}
+			if m.InUse() != total {
+				return false
+			}
+		}
+		// overlap check
+		type iv struct{ lo, hi int }
+		var ivs []iv
+		for _, b := range live {
+			ivs = append(ivs, iv{b.Addr(), b.Addr() + b.Size()})
+		}
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].lo < ivs[j].hi && ivs[j].lo < ivs[i].hi {
+					return false
+				}
+			}
+		}
+		for _, b := range live {
+			b.Free()
+		}
+		_, err := m.Alloc(capacity)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryAccessTiming(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 1024)
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		m.Access(p, 1e6) // 1 MB at 1 GB/s = 1 ms
+		done = p.Now()
+	})
+	e.Run(0)
+	if math.Abs(done-1e-3) > 1e-6 {
+		t.Fatalf("access took %g", done)
+	}
+	if got := m.BusStats().Work; got != 1e6 {
+		t.Fatalf("bus work %g", got)
+	}
+}
+
+func TestEngineTiming(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMemory(e, "hbm", MemoryConfig{Capacity: 1 << 20, BytesPerSec: 1e12, AccessLatency: 1e-9})
+	eng := NewEngine(e, "eng", m, 1e9) // 1 GB/s engine
+	var done sim.Time
+	e.Go("p", func(p *sim.Proc) {
+		eng.Run(p, 1e6, 0.5e6)
+		done = p.Now()
+	})
+	e.Run(0)
+	// compute dominates: ~1 ms
+	if done < 1e-3 || done > 1.1e-3 {
+		t.Fatalf("engine run took %g", done)
+	}
+	if eng.Processed() != 1e6 {
+		t.Fatalf("processed %g", eng.Processed())
+	}
+}
+
+func TestEngineSerializesJobs(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMemory(e, "hbm", MemoryConfig{Capacity: 1 << 20, BytesPerSec: 1e12, AccessLatency: 1e-9})
+	eng := NewEngine(e, "eng", m, 1e9)
+	var t1, t2 sim.Time
+	e.Go("a", func(p *sim.Proc) { eng.Run(p, 1e6, 0); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { eng.Run(p, 1e6, 0); t2 = p.Now() })
+	e.Run(0)
+	if t2 < 1.9e-3 {
+		t.Fatalf("second job did not queue: t1=%g t2=%g", t1, t2)
+	}
+}
+
+func TestEngineBadRatePanics(t *testing.T) {
+	e := sim.NewEnv()
+	m := newMem(e, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate engine did not panic")
+		}
+	}()
+	NewEngine(e, "bad", m, 0)
+}
+
+func TestLZ4EngineFunctional(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMemory(e, "hbm", MemoryConfig{Capacity: 1 << 20, BytesPerSec: 425e9, AccessLatency: 1e-9})
+	eng := NewLZ4Engine(e, "lz4", m, 12.5e9, 4096)
+	src := bytes.Repeat([]byte("disaggregated "), 300)[:4096]
+	var comp, back []byte
+	var compErr, decErr error
+	e.Go("p", func(p *sim.Proc) {
+		comp, compErr = eng.Compress(p, src, lz4.LevelDefault)
+		if compErr != nil {
+			return
+		}
+		back, decErr = eng.Decompress(p, comp, len(src))
+	})
+	e.Run(0)
+	if compErr != nil || decErr != nil {
+		t.Fatalf("engine codec errors: %v %v", compErr, decErr)
+	}
+	if len(comp) >= len(src) {
+		t.Fatalf("engine did not compress: %d", len(comp))
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("engine round trip mismatch")
+	}
+	// 4 KB at 12.5 GB/s twice (compress+decompress) ≈ 0.66 us + memory
+	if e.Now() > 5e-6 {
+		t.Fatalf("engine invocations took %g", e.Now())
+	}
+}
+
+func TestLZ4EngineGrowsBuffer(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMemory(e, "hbm", MemoryConfig{Capacity: 1 << 22, BytesPerSec: 425e9, AccessLatency: 1e-9})
+	eng := NewLZ4Engine(e, "lz4", m, 12.5e9, 1024) // maxBlock smaller than input
+	src := bytes.Repeat([]byte("x"), 100000)
+	e.Go("p", func(p *sim.Proc) {
+		if _, err := eng.Compress(p, src, lz4.LevelFast); err != nil {
+			t.Errorf("compress: %v", err)
+		}
+	})
+	e.Run(0)
+}
+
+func TestFPGAResourceTable3(t *testing.T) {
+	board := VCU128()
+	acc := AccFootprint()
+	lut, reg, bram := acc.Percent(board)
+	if math.Abs(lut-8.6) > 0.3 || math.Abs(reg-4.2) > 0.3 || math.Abs(bram-8.5) > 0.3 {
+		t.Fatalf("Acc percents = %.1f %.1f %.1f, want ~8.6/4.2/8.5", lut, reg, bram)
+	}
+	cases := []struct {
+		ports    int
+		wantLUTs float64
+	}{{1, 157}, {2, 313}, {4, 627}, {6, 941}}
+	for _, c := range cases {
+		r := SmartDSFootprint(c.ports)
+		if math.Abs(r.LUTs-c.wantLUTs) > 2 {
+			t.Errorf("SmartDS-%d LUTs = %g, want ~%g", c.ports, r.LUTs, c.wantLUTs)
+		}
+		if !r.FitsIn(board) {
+			t.Errorf("SmartDS-%d does not fit the VCU128", c.ports)
+		}
+	}
+}
+
+func TestFPGAResourceOps(t *testing.T) {
+	a := FPGAResources{1, 2, 3}
+	b := FPGAResources{10, 20, 30}
+	if got := a.Add(b); got != (FPGAResources{11, 22, 33}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Scale(3); got != (FPGAResources{3, 6, 9}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+	if b.FitsIn(a) {
+		t.Fatal("FitsIn inverted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid port count did not panic")
+		}
+	}()
+	SmartDSFootprint(0)
+}

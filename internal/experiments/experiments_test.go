@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 42} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ext-failover", "ext-reads", "fig10", "fig4", "fig7", "fig8", "fig9", "sec55", "table1", "table3"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("experiments registered: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", quickOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1MatchesPaperCalibration(t *testing.T) {
+	idleH, idleD := table1Point(false)
+	loadH, loadD := table1Point(true)
+	if math.Abs(idleH-1.4e-6) > 0.2e-6 || math.Abs(idleD-1.4e-6) > 0.2e-6 {
+		t.Fatalf("idle latencies %v/%v, want ~1.4us", idleH, idleD)
+	}
+	if loadH < 8e-6 || loadH > 13e-6 {
+		t.Fatalf("loaded H2D %v, want ~11.3us", loadH)
+	}
+	if loadD < 4.5e-6 || loadD > 8e-6 {
+		t.Fatalf("loaded D2H %v, want ~6.6us", loadD)
+	}
+	if loadH <= loadD {
+		t.Fatalf("paper shape: loaded H2D (%v) > loaded D2H (%v)", loadH, loadD)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl := Table3(quickOpts())
+	out := tbl.String()
+	for _, want := range []string{"Acc", "SmartDS-6", "941", "112"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4PressureShape(t *testing.T) {
+	opt := quickOpts()
+	free, _ := fig4Point(opt, math.Inf(1))
+	loaded, mlcRate := fig4Point(opt, 0)
+	if free < metrics.GbpsToBytesPerSec(80) {
+		t.Fatalf("uncontended RDMA only %s", metrics.FormatGbps(free))
+	}
+	frac := loaded / free
+	if frac > 0.75 || frac < 0.2 {
+		t.Fatalf("pressure drop to %.0f%%, want the paper's collapse toward ~46%%", frac*100)
+	}
+	if mlcRate < 50e9 {
+		t.Fatalf("MLC only sustained %.1f GB/s under its own saturation", mlcRate/1e9)
+	}
+}
+
+func TestFig7HeadlineShapes(t *testing.T) {
+	opt := quickOpts()
+	cpu2 := opt.runFig7Point(fig7Config{middletier.CPUOnly, 2, "", 16})
+	cpu48 := opt.runFig7Point(fig7Config{middletier.CPUOnly, 48, "", 8 * 48})
+	sds := opt.runFig7Point(fig7Config{middletier.SmartDS, 2, "", 192})
+	bf2 := opt.runFig7Point(fig7Config{middletier.BF2, 0, "", 192})
+
+	// CPU-only scales with cores but stays compression-bound.
+	if cpu48.Throughput < 5*cpu2.Throughput {
+		t.Fatalf("CPU-only scaling broken: %s -> %s",
+			metrics.FormatGbps(cpu2.Throughput), metrics.FormatGbps(cpu48.Throughput))
+	}
+	// SmartDS-1 with 2 cores beats CPU-only with 2 cores by a wide margin
+	// and at least matches CPU-only peak.
+	if sds.Throughput < 5*cpu2.Throughput {
+		t.Fatalf("SmartDS-1 (%s) should dwarf 2-core CPU-only (%s)",
+			metrics.FormatGbps(sds.Throughput), metrics.FormatGbps(cpu2.Throughput))
+	}
+	// Paper §5.2: SmartDS-1 with 2 cores reaches "the same throughput"
+	// CPU-only needs all 48 logical cores for (both are bounded by the
+	// port's replication egress / compression capacity).
+	if sds.Throughput < 0.9*cpu48.Throughput {
+		t.Fatalf("SmartDS-1 (%s) well below CPU-only peak (%s)",
+			metrics.FormatGbps(sds.Throughput), metrics.FormatGbps(cpu48.Throughput))
+	}
+	// BF2 is bounded by its ~40 Gbps engine.
+	bf2Gbps := metrics.BytesPerSecToGbps(bf2.Throughput)
+	if bf2Gbps > 45 {
+		t.Fatalf("BF2 exceeded its engine bound: %.1f Gbps", bf2Gbps)
+	}
+	if bf2Gbps < 15 {
+		t.Fatalf("BF2 implausibly slow: %.1f Gbps", bf2Gbps)
+	}
+}
+
+func TestFig10LinearScaling(t *testing.T) {
+	opt := quickOpts()
+	r1 := opt.runFig10Point(1)
+	r2 := opt.runFig10Point(2)
+	ratio := r2.Throughput / r1.Throughput
+	if ratio < 1.7 {
+		t.Fatalf("port scaling 1->2 gave %.2fx, want ~2x", ratio)
+	}
+	// Latency stays in the same regime.
+	if r2.Lat.Mean > 3*r1.Lat.Mean {
+		t.Fatalf("multi-port latency exploded: %v vs %v", r2.Lat.Mean, r1.Lat.Mean)
+	}
+}
+
+func TestFig9IsolationShape(t *testing.T) {
+	// Under full MLC pressure, CPU-only loses significant throughput;
+	// SmartDS barely changes. Run the minimal two-point version inline.
+	opt := quickOpts()
+	tbl := Fig9(opt)
+	out := tbl.String()
+	if !strings.Contains(out, "CPU-only") || !strings.Contains(out, "SmartDS-1") {
+		t.Fatalf("fig9 table malformed:\n%s", out)
+	}
+}
+
+func TestSec55TableShape(t *testing.T) {
+	tbl := Sec55(quickOpts())
+	out := tbl.String()
+	if !strings.Contains(out, "cards") || !strings.Contains(out, "speedup over CPU-only") {
+		t.Fatalf("sec55 table malformed:\n%s", out)
+	}
+}
+
+func TestRunAllQuickProducesTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in long mode only")
+	}
+	tables := RunAll(quickOpts())
+	if len(tables) < 10 {
+		t.Fatalf("RunAll produced %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("empty table %q", tb.Title)
+		}
+	}
+}
+
+func TestExtFailoverZeroErrors(t *testing.T) {
+	tbl := ExtFailover(quickOpts())
+	out := tbl.String()
+	if !strings.Contains(out, "server 0 down") || !strings.Contains(out, "recovered") {
+		t.Fatalf("failover table malformed:\n%s", out)
+	}
+	// The dead-server-writes cell for the outage phase must be 0.
+	for _, row := range tbl.Rows {
+		if row[0] == "server 0 down" {
+			if row[3] != "0" {
+				t.Fatalf("errors during outage: %s", row[3])
+			}
+			if row[4] != "0" {
+				t.Fatalf("dead server received writes: %s", row[4])
+			}
+		}
+	}
+}
+
+func TestExtReadsServesBothOps(t *testing.T) {
+	tbl := ExtReads(quickOpts())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[4] == "0" || row[5] == "0" {
+			t.Fatalf("config %s served no reads or writes: %v", row[0], row)
+		}
+	}
+}

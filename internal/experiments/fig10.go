@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+)
+
+// Fig10 reproduces the multi-port scaling experiment (§5.4): SmartDS
+// with 1/2/4/6 utilized 100 GbE ports, two host cores per port. The
+// paper reports linear throughput scaling with flat latency, because
+// only headers cross PCIe regardless of port count.
+func Fig10(opt Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Figure 10: effect of the number of SmartDS network ports",
+		"ports", "throughput", "avg lat", "p99", "p999", "host mem r+w", "PCIe H2D+D2H")
+
+	ports := []int{1, 2, 4, 6}
+	if opt.Quick {
+		ports = []int{1, 2}
+	}
+	for _, n := range ports {
+		res := opt.runFig10Point(n)
+		tbl.AddRow(fmt.Sprintf("SmartDS-%d", n), gbps(res.Throughput),
+			us(res.Lat.Mean), us(res.Lat.P99), us(res.Lat.P999),
+			gbps(res.MemReadRate+res.MemWriteRate), gbps(res.SDSH2D+res.SDSD2H))
+	}
+	tbl.AddNote("paper: throughput scales linearly with ports (SmartDS-4 = 4x SmartDS-1);")
+	tbl.AddNote("paper: avg/p99/p999 latency roughly constant across port counts")
+	return tbl
+}
+
+// runFig10Point measures SmartDS with n ports: one client per port
+// (each with its own saturating window), three storage servers per
+// port so the back end never bottlenecks.
+func (o Options) runFig10Point(n int) cluster.Results {
+	c := o.newCluster(middletier.SmartDS, func(cc *cluster.Config) {
+		cc.MT.Ports = n
+		cc.MT.Workers = 2 * n
+		cc.NumClients = n
+		cc.NumStorage = 3 * n
+	})
+	return o.runPeak(c, 192, nil)
+}

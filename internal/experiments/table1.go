@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/pcie"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// Table1 reproduces the PCIe latency microbenchmark (§3.1.3): DMA
+// read (H2D) and write (D2H) completion latency with the link idle
+// versus saturated by background DMA traffic.
+func Table1(opt Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Table 1: PCIe latency under different pressure",
+		"", "H2D latency", "D2H latency")
+
+	idleH2D, idleD2H := table1Point(false)
+	loadH2D, loadD2H := table1Point(true)
+	tbl.AddRow("Under Loaded", us(idleH2D), us(idleD2H))
+	tbl.AddRow("Heavily Loaded", us(loadH2D), us(loadD2H))
+	tbl.AddNote("paper: 1.4/1.4 us idle; 11.3/6.6 us heavily loaded")
+	return tbl
+}
+
+// table1Point measures mean small-DMA latency with optional background
+// pressure, mirroring the FPGA microbenchmark the paper uses.
+func table1Point(loaded bool) (h2d, d2h float64) {
+	env := sim.NewEnv()
+	link := pcie.New(env, "u280", pcie.DefaultConfig())
+
+	if loaded {
+		// Saturating background DMA in both directions.
+		for i := 0; i < 8; i++ {
+			env.Go("bg", func(p *sim.Proc) {
+				for p.Now() < 10e-3 {
+					p.Wait(link.StartDMA(pcie.H2D, 1<<20))
+				}
+			})
+			env.Go("bg", func(p *sim.Proc) {
+				for p.Now() < 10e-3 {
+					p.Wait(link.StartDMA(pcie.D2H, 1<<20))
+				}
+			})
+		}
+	}
+
+	const probes = 64
+	var sumH, sumD float64
+	env.Go("probe", func(p *sim.Proc) {
+		p.Sleep(1e-3) // let pressure build
+		for i := 0; i < probes; i++ {
+			start := p.Now()
+			link.DMARead(p, 64)
+			sumH += p.Now() - start
+			start = p.Now()
+			link.DMAWrite(p, 64)
+			sumD += p.Now() - start
+			p.Sleep(20e-6)
+		}
+	})
+	env.Run(0)
+	return sumH / probes, sumD / probes
+}

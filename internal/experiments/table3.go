@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/device"
+	"github.com/disagg/smartds/internal/metrics"
+)
+
+// Table3 reproduces the FPGA resource consumption table: the
+// accelerator-only design and SmartDS with 1/2/4/6 ports, as LUT/REG/
+// BRAM counts and utilization of the VCU128.
+func Table3(Options) *metrics.Table {
+	tbl := metrics.NewTable(
+		"Table 3: FPGA resource consumption (VCU128)",
+		"Name", "LUTs (K)", "REGS (K)", "BRAMs")
+	board := device.VCU128()
+
+	row := func(name string, r device.FPGAResources) {
+		lut, reg, bram := r.Percent(board)
+		tbl.AddRow(name,
+			fmt.Sprintf("%.0f (%.1f%%)", r.LUTs, lut),
+			fmt.Sprintf("%.0f (%.1f%%)", r.Regs, reg),
+			fmt.Sprintf("%.0f (%.1f%%)", r.BRAMs, bram))
+	}
+	row(`"Acc"`, device.AccFootprint())
+	for _, ports := range []int{1, 2, 4, 6} {
+		row(fmt.Sprintf(`"SmartDS-%d"`, ports), device.SmartDSFootprint(ports))
+	}
+	tbl.AddNote("paper: 112/157/313/627/941 K LUTs for Acc and SmartDS-1/2/4/6")
+	return tbl
+}

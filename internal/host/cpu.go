@@ -1,0 +1,187 @@
+// Package host models the middle-tier server's host side: a CPU pool
+// with SMT-aware software compression rates, and the plain host NIC
+// (ConnectX-5-like) whose every message bounces through PCIe and host
+// memory — the data path of the CPU-only and accelerator baselines.
+package host
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// CPUConfig sets the processor parameters. Defaults are the paper's
+// 2x Xeon Silver 4214 testbed.
+type CPUConfig struct {
+	PhysCores int // physical cores (24 across both sockets)
+	// CompressBytesPerSec is software LZ4 throughput for a logical core
+	// whose SMT sibling is idle (~2.1 Gbps).
+	CompressBytesPerSec float64
+	// SMTPairBytesPerSec is the combined throughput of two busy logical
+	// cores on one physical core (~2.7 Gbps).
+	SMTPairBytesPerSec float64
+	// DecompressFactor is how much faster decompression runs (paper
+	// §2.2.3 cites >7x).
+	DecompressFactor float64
+	// ParseTime is the per-message header-parse + bookkeeping cost.
+	ParseTime float64
+}
+
+// DefaultCPUConfig returns the testbed parameters.
+func DefaultCPUConfig() CPUConfig {
+	return CPUConfig{
+		PhysCores:           24,
+		CompressBytesPerSec: 2.1e9 / 8,
+		SMTPairBytesPerSec:  2.7e9 / 8,
+		DecompressFactor:    7,
+		ParseTime:           300e-9,
+	}
+}
+
+// Pool is the set of logical cores (two per physical core).
+type Pool struct {
+	env   *sim.Env
+	cfg   CPUConfig
+	cores []*Core
+}
+
+// Core is one logical core. Middle-tier workers claim a core for their
+// lifetime (pinned threads) and charge work to it; throughput of
+// compression work depends on whether the SMT sibling is busy.
+type Core struct {
+	pool    *Pool
+	id      int
+	sibling *Core
+	claimed bool
+	busy    bool
+	slot    *sim.Resource // serializes work charged by concurrent procs
+}
+
+// NewPool builds the core set.
+func NewPool(env *sim.Env, cfg CPUConfig) *Pool {
+	def := DefaultCPUConfig()
+	if cfg.PhysCores <= 0 {
+		cfg.PhysCores = def.PhysCores
+	}
+	if cfg.CompressBytesPerSec <= 0 {
+		cfg.CompressBytesPerSec = def.CompressBytesPerSec
+	}
+	if cfg.SMTPairBytesPerSec <= 0 {
+		cfg.SMTPairBytesPerSec = def.SMTPairBytesPerSec
+	}
+	if cfg.DecompressFactor <= 0 {
+		cfg.DecompressFactor = def.DecompressFactor
+	}
+	if cfg.ParseTime <= 0 {
+		cfg.ParseTime = def.ParseTime
+	}
+	p := &Pool{env: env, cfg: cfg}
+	for i := 0; i < cfg.PhysCores; i++ {
+		a := &Core{pool: p, id: 2 * i, slot: env.NewResource(fmt.Sprintf("core%d", 2*i), 1)}
+		b := &Core{pool: p, id: 2*i + 1, slot: env.NewResource(fmt.Sprintf("core%d", 2*i+1), 1)}
+		a.sibling, b.sibling = b, a
+		p.cores = append(p.cores, a, b)
+	}
+	return p
+}
+
+// Config returns the effective configuration.
+func (p *Pool) Config() CPUConfig { return p.cfg }
+
+// LogicalCores returns the total logical core count.
+func (p *Pool) LogicalCores() int { return len(p.cores) }
+
+// Claim pins a worker to a free logical core. The scheduler fills
+// distinct physical cores first (the OS-default spread policy the
+// paper's core-count sweep implies: one logical core delivers 2.1 Gbps,
+// the sibling adds only 0.6), then siblings.
+func (p *Pool) Claim() (*Core, error) {
+	// Pass 1: cores whose sibling is unclaimed.
+	for _, c := range p.cores {
+		if !c.claimed && !c.sibling.claimed {
+			c.claimed = true
+			return c, nil
+		}
+	}
+	// Pass 2: any free logical core.
+	for _, c := range p.cores {
+		if !c.claimed {
+			c.claimed = true
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("host: all %d logical cores claimed", len(p.cores))
+}
+
+// Release unpins the core.
+func (c *Core) Release() { c.claimed = false }
+
+// ID returns the logical core id.
+func (c *Core) ID() int { return c.id }
+
+// compressRate returns the core's current software-LZ4 throughput,
+// sampled from SMT sibling activity.
+func (c *Core) compressRate() float64 {
+	if c.sibling.busy {
+		return c.pool.cfg.SMTPairBytesPerSec / 2
+	}
+	return c.pool.cfg.CompressBytesPerSec
+}
+
+// run charges busy time to the core. Concurrent charges from different
+// procs queue FIFO, like tasks on one pinned thread. The duration
+// function is evaluated once the core is actually acquired, so rates
+// that depend on sibling activity sample the true start-time state.
+func (c *Core) run(p *sim.Proc, duration func() float64) {
+	c.slot.Acquire(p)
+	c.busy = true
+	p.Sleep(duration())
+	c.busy = false
+	c.slot.Release()
+}
+
+// QueueLen reports tasks waiting on this core (load metric).
+func (c *Core) QueueLen() int { return c.slot.QueueLen() }
+
+// Stats exposes the core's utilization counters.
+func (c *Core) Stats() sim.ResourceStats { return c.slot.Snapshot() }
+
+// Compress charges software LZ4 compression of n bytes. The rate is
+// sampled at start (SMT interactions mid-operation are second-order).
+func (c *Core) Compress(p *sim.Proc, n float64) {
+	c.CompressSlowed(p, n, 1)
+}
+
+// CompressSlowed is Compress with a memory-stall slowdown factor (>= 1):
+// software LZ4 is memory-intensive, so DRAM latency amplification under
+// bus contention divides its effective rate (paper §5.3).
+func (c *Core) CompressSlowed(p *sim.Proc, n, factor float64) {
+	if n <= 0 {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	c.run(p, func() float64 { return n * factor / c.compressRate() })
+}
+
+// Decompress charges software LZ4 decompression of n (original) bytes.
+func (c *Core) Decompress(p *sim.Proc, n float64) {
+	if n <= 0 {
+		return
+	}
+	c.run(p, func() float64 { return n / (c.compressRate() * c.pool.cfg.DecompressFactor) })
+}
+
+// Parse charges one header-parse + dispatch decision.
+func (c *Core) Parse(p *sim.Proc) {
+	c.run(p, func() float64 { return c.pool.cfg.ParseTime })
+}
+
+// Work charges an arbitrary busy interval (maintenance services).
+func (c *Core) Work(p *sim.Proc, d float64) {
+	if d <= 0 {
+		return
+	}
+	c.run(p, func() float64 { return d })
+}

@@ -1,0 +1,235 @@
+package host
+
+import (
+	"math"
+	"testing"
+
+	"github.com/disagg/smartds/internal/mem"
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/pcie"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+func TestPoolDefaults(t *testing.T) {
+	e := sim.NewEnv()
+	p := NewPool(e, CPUConfig{})
+	if p.LogicalCores() != 48 {
+		t.Fatalf("logical cores = %d, want 48", p.LogicalCores())
+	}
+}
+
+func TestClaimSpreadsAcrossPhysicalFirst(t *testing.T) {
+	e := sim.NewEnv()
+	p := NewPool(e, CPUConfig{PhysCores: 4})
+	var ids []int
+	for i := 0; i < 8; i++ {
+		c, err := p.Claim()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	// First four claims land on distinct physical cores (even ids),
+	// then the siblings (odd ids).
+	for i := 0; i < 4; i++ {
+		if ids[i]%2 != 0 {
+			t.Fatalf("claim order %v did not spread physical cores first", ids)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if ids[i]%2 != 1 {
+			t.Fatalf("claim order %v did not fall back to siblings", ids)
+		}
+	}
+	if _, err := p.Claim(); err == nil {
+		t.Fatal("overclaim succeeded")
+	}
+}
+
+func TestReleaseAllowsReclaim(t *testing.T) {
+	e := sim.NewEnv()
+	p := NewPool(e, CPUConfig{PhysCores: 1})
+	a, _ := p.Claim()
+	b, _ := p.Claim()
+	a.Release()
+	c, err := p.Claim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID() != a.ID() {
+		t.Fatalf("reclaim got core %d, want %d", c.ID(), a.ID())
+	}
+	_ = b
+}
+
+func TestCompressRateSoloVsSMT(t *testing.T) {
+	e := sim.NewEnv()
+	p := NewPool(e, CPUConfig{PhysCores: 1})
+	a, _ := p.Claim()
+	b, _ := p.Claim()
+
+	// Solo: 2.1 Gbps -> 4 KB takes 4096 / (2.1e9/8) s.
+	var soloTime sim.Time
+	e.Go("solo", func(proc *sim.Proc) {
+		start := proc.Now()
+		a.Compress(proc, 4096)
+		soloTime = proc.Now() - start
+	})
+	e.Run(0)
+	wantSolo := 4096 / (2.1e9 / 8)
+	if math.Abs(soloTime-wantSolo) > wantSolo*0.01 {
+		t.Fatalf("solo compress time %g, want %g", soloTime, wantSolo)
+	}
+
+	// Concurrent on both siblings: each at 1.35 Gbps.
+	var t1, t2 sim.Time
+	e.Go("a", func(proc *sim.Proc) {
+		start := proc.Now()
+		a.Compress(proc, 4096)
+		t1 = proc.Now() - start
+	})
+	e.Go("b", func(proc *sim.Proc) {
+		start := proc.Now()
+		b.Compress(proc, 4096)
+		t2 = proc.Now() - start
+	})
+	e.Run(0)
+	wantPair := 4096 / (2.7e9 / 8 / 2)
+	// The second starter samples a busy sibling; the first samples idle.
+	// At least one of them must see the degraded rate.
+	if t1 < wantSolo*0.99 && t2 < wantPair*0.99 {
+		t.Fatalf("SMT contention not applied: t1=%g t2=%g", t1, t2)
+	}
+}
+
+func TestDecompressFaster(t *testing.T) {
+	e := sim.NewEnv()
+	p := NewPool(e, CPUConfig{PhysCores: 1})
+	c, _ := p.Claim()
+	var ct, dt sim.Time
+	e.Go("p", func(proc *sim.Proc) {
+		s := proc.Now()
+		c.Compress(proc, 1e6)
+		ct = proc.Now() - s
+		s = proc.Now()
+		c.Decompress(proc, 1e6)
+		dt = proc.Now() - s
+	})
+	e.Run(0)
+	if ratio := ct / dt; math.Abs(ratio-7) > 0.1 {
+		t.Fatalf("decompress speedup = %g, want 7", ratio)
+	}
+}
+
+func TestParseAndWork(t *testing.T) {
+	e := sim.NewEnv()
+	p := NewPool(e, CPUConfig{PhysCores: 1, ParseTime: 1e-6})
+	c, _ := p.Claim()
+	e.Go("p", func(proc *sim.Proc) {
+		c.Parse(proc)
+		c.Work(proc, 5e-6)
+		c.Work(proc, -1) // no-op
+		c.Compress(proc, 0)
+	})
+	e.Run(0)
+	if math.Abs(e.Now()-6e-6) > 1e-12 {
+		t.Fatalf("parse+work time %g, want 6us", e.Now())
+	}
+}
+
+func newNICRig(e *sim.Env) (*NIC, *rdma.Stack, *mem.System) {
+	f := netsim.NewFabric(e, netsim.DefaultConfig())
+	hm := mem.New(e, mem.DefaultConfig())
+	nic := NewNIC(e, f, "mt", 12.5e9, pcie.DefaultConfig(), rdma.DefaultConfig(), hm)
+	peer := rdma.NewStack(e, f.NewPort("client", 12.5e9), rdma.DefaultConfig())
+	return nic, peer, hm
+}
+
+func TestNICReceiveChargesPCIeAndMemory(t *testing.T) {
+	e := sim.NewEnv()
+	nic, peer, hm := newNICRig(e)
+	var delivered *rdma.Message
+	qp := nic.CreateQP(func(_ *rdma.QP, m *rdma.Message) { delivered = m })
+	rq := peer.CreateQP()
+	rdma.Connect(qp, rq)
+
+	m0 := hm.Snapshot()
+	p0 := nic.PCIe().Snapshot()
+	e.Go("client", func(p *sim.Proc) { p.Wait(rq.SendSized(nil, 1<<20)) })
+	e.Run(0)
+	if delivered == nil {
+		t.Fatal("message not delivered to software")
+	}
+	m1 := hm.Snapshot()
+	p1 := nic.PCIe().Snapshot()
+	if got := p1.D2HBytes - p0.D2HBytes; got != 1<<20 {
+		t.Fatalf("PCIe D2H = %g, want 1 MiB", got)
+	}
+	if got := m1.WriteBytes - m0.WriteBytes; got != 1<<20 {
+		t.Fatalf("DRAM writes = %g, want 1 MiB", got)
+	}
+}
+
+func TestNICSendChargesPCIeAndMemory(t *testing.T) {
+	e := sim.NewEnv()
+	nic, peer, hm := newNICRig(e)
+	qp := nic.CreateQP(nil)
+	rq := peer.CreateQP()
+	rdma.Connect(qp, rq)
+	got := 0
+	rq.OnRecv = func(*rdma.Message) { got++ }
+
+	m0 := hm.Snapshot()
+	p0 := nic.PCIe().Snapshot()
+	var ackErr interface{}
+	e.Go("host", func(p *sim.Proc) { ackErr = p.Wait(nic.Send(qp, nil, 1<<20)) })
+	e.Run(0)
+	if got != 1 || ackErr != nil {
+		t.Fatalf("send failed: got=%d err=%v", got, ackErr)
+	}
+	m1 := hm.Snapshot()
+	p1 := nic.PCIe().Snapshot()
+	if gotB := p1.H2DBytes - p0.H2DBytes; gotB != 1<<20 {
+		t.Fatalf("PCIe H2D = %g", gotB)
+	}
+	if gotB := m1.ReadBytes - m0.ReadBytes; gotB != 1<<20 {
+		t.Fatalf("DRAM reads = %g", gotB)
+	}
+}
+
+func TestNICDDIOFractions(t *testing.T) {
+	e := sim.NewEnv()
+	nic, peer, hm := newNICRig(e)
+	nic.MemWriteFraction = 0.25
+	nic.MemReadFraction = 0
+	qp := nic.CreateQP(func(*rdma.QP, *rdma.Message) {})
+	rq := peer.CreateQP()
+	rdma.Connect(qp, rq)
+
+	m0 := hm.Snapshot()
+	e.Go("client", func(p *sim.Proc) { p.Wait(rq.SendSized(nil, 1<<20)) })
+	e.Go("host", func(p *sim.Proc) { p.Wait(nic.Send(qp, nil, 1<<20)) })
+	e.Run(0)
+	m1 := hm.Snapshot()
+	if got := m1.WriteBytes - m0.WriteBytes; math.Abs(got-(1<<20)/4) > 1 {
+		t.Fatalf("DDIO write fraction not applied: %g", got)
+	}
+	if got := m1.ReadBytes - m0.ReadBytes; got != 0 {
+		t.Fatalf("DDIO read fraction not applied: %g", got)
+	}
+}
+
+func TestNICRealDataPath(t *testing.T) {
+	e := sim.NewEnv()
+	nic, peer, _ := newNICRig(e)
+	var got []byte
+	qp := nic.CreateQP(func(_ *rdma.QP, m *rdma.Message) { got = m.Data })
+	rq := peer.CreateQP()
+	rdma.Connect(qp, rq)
+	e.Go("client", func(p *sim.Proc) { p.Wait(rq.Send([]byte("payload"))) })
+	e.Run(0)
+	if string(got) != "payload" {
+		t.Fatalf("real bytes lost: %q", got)
+	}
+}

@@ -1,0 +1,114 @@
+package lz4
+
+// Decompress decodes an LZ4 block from src into dst and returns the
+// number of bytes produced. dst must be large enough for the whole
+// decoded output (callers know the original size out of band, as both
+// the paper's storage format and this repository's frame header carry
+// it). Malformed input yields ErrCorrupt, never a panic.
+func Decompress(dst, src []byte) (int, error) {
+	si, di := 0, 0
+	for {
+		if si >= len(src) {
+			return 0, ErrCorrupt
+		}
+		token := src[si]
+		si++
+
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, si, err = readLenExt(src, si, litLen)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if litLen > 0 {
+			if si+litLen > len(src) {
+				return 0, ErrCorrupt
+			}
+			if di+litLen > len(dst) {
+				return 0, ErrShortBuffer
+			}
+			copy(dst[di:], src[si:si+litLen])
+			si += litLen
+			di += litLen
+		}
+		if si == len(src) {
+			// A block legitimately ends right after the final literals,
+			// whose token carries a zero match nibble. A non-zero nibble
+			// promised a match that never arrived.
+			if token&15 != 0 {
+				return 0, ErrCorrupt
+			}
+			return di, nil
+		}
+
+		// Match.
+		if si+2 > len(src) {
+			return 0, ErrCorrupt
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if offset == 0 || offset > di {
+			return 0, ErrCorrupt
+		}
+		matchLen := int(token & 15)
+		if matchLen == 15 {
+			var err error
+			matchLen, si, err = readLenExt(src, si, matchLen)
+			if err != nil {
+				return 0, err
+			}
+		}
+		matchLen += minMatch
+		if di+matchLen > len(dst) {
+			return 0, ErrShortBuffer
+		}
+		// Overlapping copy: must go byte-by-byte when offset < matchLen.
+		ref := di - offset
+		if offset >= matchLen {
+			copy(dst[di:di+matchLen], dst[ref:ref+matchLen])
+			di += matchLen
+		} else {
+			for k := 0; k < matchLen; k++ {
+				dst[di] = dst[ref]
+				di++
+				ref++
+			}
+		}
+	}
+}
+
+// readLenExt reads the 255-run extension of a length field that began
+// at its 15 cap.
+func readLenExt(src []byte, si, base int) (int, int, error) {
+	v := base
+	for {
+		if si >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		b := src[si]
+		si++
+		v += int(b)
+		if v < 0 {
+			return 0, 0, ErrCorrupt // overflow on hostile input
+		}
+		if b != 255 {
+			return v, si, nil
+		}
+	}
+}
+
+// DecompressToBuf decodes src given the known original size.
+func DecompressToBuf(src []byte, origSize int) ([]byte, error) {
+	dst := make([]byte, origSize)
+	n, err := Decompress(dst, src)
+	if err != nil {
+		return nil, err
+	}
+	if n != origSize {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

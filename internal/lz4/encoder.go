@@ -1,0 +1,134 @@
+package lz4
+
+import "fmt"
+
+// Encoder holds reusable matcher state so hot paths (the middle tier
+// compresses every 4 KB block of every write request) do not pay a
+// fresh hash-table allocation per block. An Encoder is not safe for
+// concurrent use; the simulation is single-threaded so each simulated
+// engine or core owns one.
+type Encoder struct {
+	head  []int32
+	prev  []int32
+	epoch int32 // current generation; head entries from older epochs are stale
+	marks []int32
+}
+
+// NewEncoder returns an Encoder ready for blocks up to maxBlock bytes
+// (larger inputs still work; prev grows on demand).
+func NewEncoder(maxBlock int) *Encoder {
+	if maxBlock < 0 {
+		maxBlock = 0
+	}
+	return &Encoder{
+		head:  make([]int32, 1<<hashLog),
+		prev:  make([]int32, maxBlock),
+		marks: make([]int32, 1<<hashLog),
+		epoch: 0,
+	}
+}
+
+// Compress compresses src into dst like the package-level Compress but
+// reusing the encoder's tables.
+func (e *Encoder) Compress(dst, src []byte, level Level) (int, error) {
+	if !level.Valid() {
+		return 0, fmt.Errorf("lz4: invalid level %d", level)
+	}
+	if len(dst) < CompressBound(len(src)) {
+		return 0, ErrShortBuffer
+	}
+	if len(src) == 0 {
+		dst[0] = 0
+		return 1, nil
+	}
+	if len(src) < mfLimit+minMatch {
+		return emitLastLiterals(dst, 0, src)
+	}
+	if len(e.prev) < len(src) {
+		e.prev = make([]int32, len(src))
+	}
+	e.epoch++
+	if e.epoch == 0 { // wrapped; flush everything
+		for i := range e.marks {
+			e.marks[i] = 0
+		}
+		e.epoch = 1
+	}
+	return e.compressBlock(dst, src, level.attempts())
+}
+
+// lookup returns the chain head for h, or -1 when stale.
+func (e *Encoder) lookup(h uint32) int32 {
+	if e.marks[h] != e.epoch {
+		return -1
+	}
+	return e.head[h]
+}
+
+func (e *Encoder) insert(src []byte, i int) {
+	h := hash4(load32(src, i))
+	if e.marks[h] == e.epoch {
+		e.prev[i] = e.head[h]
+	} else {
+		e.prev[i] = -1
+		e.marks[h] = e.epoch
+	}
+	e.head[h] = int32(i)
+}
+
+func (e *Encoder) compressBlock(dst, src []byte, attempts int) (int, error) {
+	di := 0
+	anchor := 0
+	i := 0
+	matchEndLimit := len(src) - lastLiterals
+	searchLimit := len(src) - mfLimit
+
+	for i <= searchLimit {
+		cur := load32(src, i)
+		cand := e.lookup(hash4(cur))
+		bestLen := 0
+		bestPos := -1
+		tries := attempts
+		for cand >= 0 && tries > 0 {
+			c := int(cand)
+			if i-c > maxOffset {
+				break
+			}
+			if load32(src, c) == cur {
+				l := matchLength(src, c+minMatch, i+minMatch, matchEndLimit) + minMatch
+				if l > bestLen {
+					bestLen = l
+					bestPos = c
+				}
+			}
+			cand = e.prev[c]
+			tries--
+		}
+		if bestLen < minMatch {
+			e.insert(src, i)
+			i++
+			continue
+		}
+		for i > anchor && bestPos > 0 && src[i-1] == src[bestPos-1] {
+			i--
+			bestPos--
+			bestLen++
+		}
+		var err error
+		di, err = emitSequence(dst, di, src[anchor:i], i-bestPos, bestLen)
+		if err != nil {
+			return 0, err
+		}
+		end := i + bestLen
+		step := 1
+		if bestLen > 4096 {
+			step = 16
+		}
+		for j := i; j < end && j <= searchLimit; j += step {
+			e.insert(src, j)
+		}
+		i = end
+		anchor = i
+	}
+	return emitLastLiterals(dst, di, src[anchor:])
+}

@@ -1,0 +1,339 @@
+package lz4
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/disagg/smartds/internal/rng"
+)
+
+func roundTrip(t *testing.T, src []byte, level Level) []byte {
+	t.Helper()
+	comp, err := CompressToBuf(src, level)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, err := DecompressToBuf(comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(out))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	comp := roundTrip(t, nil, LevelDefault)
+	if len(comp) != 1 {
+		t.Fatalf("empty block should be 1 byte, got %d", len(comp))
+	}
+}
+
+func TestRoundTripTiny(t *testing.T) {
+	for n := 1; n < 20; n++ {
+		src := bytes.Repeat([]byte{'a'}, n)
+		roundTrip(t, src, LevelDefault)
+	}
+}
+
+func TestRoundTripAllLevels(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 200))
+	for l := Level(1); l <= 9; l++ {
+		comp := roundTrip(t, src, l)
+		if len(comp) >= len(src) {
+			t.Fatalf("level %d did not compress repetitive text: %d >= %d", l, len(comp), len(src))
+		}
+	}
+}
+
+func TestHigherLevelNoWorseRatio(t *testing.T) {
+	// Moderately compressible data: structured records with noise.
+	r := rng.New(1)
+	var b bytes.Buffer
+	for i := 0; i < 2000; i++ {
+		b.WriteString("record-")
+		b.WriteByte(byte('a' + i%17))
+		b.WriteString(":value=")
+		b.WriteByte(byte('0' + r.Intn(10)))
+		b.WriteByte(byte(r.Uint64()))
+	}
+	src := b.Bytes()
+	fast := roundTrip(t, src, LevelFast)
+	max := roundTrip(t, src, LevelMax)
+	if len(max) > len(fast)+len(src)/100 {
+		t.Fatalf("LevelMax (%d) much worse than LevelFast (%d)", len(max), len(fast))
+	}
+}
+
+func TestIncompressibleData(t *testing.T) {
+	r := rng.New(7)
+	src := make([]byte, 4096)
+	r.Bytes(src)
+	comp := roundTrip(t, src, LevelDefault)
+	if len(comp) > CompressBound(len(src)) {
+		t.Fatalf("output exceeded bound: %d > %d", len(comp), CompressBound(len(src)))
+	}
+}
+
+func TestZeroPage(t *testing.T) {
+	src := make([]byte, 4096)
+	comp := roundTrip(t, src, LevelDefault)
+	if len(comp) > 64 {
+		t.Fatalf("zero page compressed to %d bytes, want tiny", len(comp))
+	}
+}
+
+func TestLongRepeats(t *testing.T) {
+	// Exercises long match-length extension encoding (>= 15+255 runs).
+	src := bytes.Repeat([]byte("ab"), 40000)
+	comp := roundTrip(t, src, LevelFast)
+	if len(comp) > 500 {
+		t.Fatalf("long repeat compressed to %d bytes", len(comp))
+	}
+}
+
+func TestLongLiteralRun(t *testing.T) {
+	// Incompressible prefix long enough to need literal-length extension.
+	r := rng.New(3)
+	src := make([]byte, 1000)
+	r.Bytes(src)
+	src = append(src, bytes.Repeat([]byte("xyz"), 200)...)
+	roundTrip(t, src, LevelDefault)
+}
+
+func TestFarMatchBeyondWindow(t *testing.T) {
+	// A repeat farther than 64 KiB cannot be matched; data must still
+	// round-trip (as literals).
+	pattern := []byte("unique-pattern-block-0123456789")
+	filler := make([]byte, 70000)
+	rng.New(9).Bytes(filler)
+	src := append(append(append([]byte{}, pattern...), filler...), pattern...)
+	roundTrip(t, src, LevelMax)
+}
+
+func TestCompressShortDst(t *testing.T) {
+	src := []byte("hello world hello world")
+	dst := make([]byte, 3)
+	if _, err := Compress(dst, src, LevelDefault); err != ErrShortBuffer {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestInvalidLevel(t *testing.T) {
+	for _, l := range []Level{0, -1, 10} {
+		if _, err := CompressToBuf([]byte("x"), l); err == nil {
+			t.Fatalf("level %d accepted", l)
+		}
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"truncated literals": {0x50, 'a', 'b'},        // promises 5 literals
+		"zero offset":        {0x10, 'a', 0x00, 0x00}, // offset 0 invalid
+		"offset too far":     {0x10, 'a', 0x09, 0x00}, // offset 9 > produced 1
+		"missing offset":     {0x14, 'a'},             // token says match follows
+		"bad ext run":        {0xf0, 255, 255},        // literal ext never ends
+	}
+	dst := make([]byte, 64)
+	for name, src := range cases {
+		if _, err := Decompress(dst, src); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestDecompressShortDst(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd"), 100)
+	comp, _ := CompressToBuf(src, LevelDefault)
+	small := make([]byte, 10)
+	if _, err := Decompress(small, comp); err != ErrShortBuffer {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint32, sizeSel uint16, levelSel uint8) bool {
+		local := rng.New(uint64(seed))
+		size := int(sizeSel) % 8192
+		level := Level(int(levelSel)%9 + 1)
+		src := make([]byte, size)
+		// Mix of random and repetitive spans for realistic structure.
+		i := 0
+		for i < size {
+			runLen := local.Intn(200) + 1
+			if i+runLen > size {
+				runLen = size - i
+			}
+			if local.Float64() < 0.5 {
+				local.Bytes(src[i : i+runLen])
+			} else {
+				b := byte(local.Intn(256))
+				for k := 0; k < runLen; k++ {
+					src[i+k] = b
+				}
+			}
+			i += runLen
+		}
+		comp, err := CompressToBuf(src, level)
+		if err != nil {
+			return false
+		}
+		out, err := DecompressToBuf(comp, len(src))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressFuzzNoPanics(t *testing.T) {
+	// Random garbage must never panic the decoder.
+	r := rng.New(1234)
+	dst := make([]byte, 4096)
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(200)
+		src := make([]byte, n)
+		r.Bytes(src)
+		_, _ = Decompress(dst, src) // any error is fine; panics are not
+	}
+}
+
+func TestMutatedCompressedData(t *testing.T) {
+	// Flipping bytes in valid compressed output must either error or
+	// produce different data, never panic.
+	src := []byte(strings.Repeat("disaggregated block storage ", 100))
+	comp, _ := CompressToBuf(src, LevelDefault)
+	dst := make([]byte, len(src)+64)
+	for i := 0; i < len(comp); i += 3 {
+		mut := append([]byte(nil), comp...)
+		mut[i] ^= 0xff
+		_, _ = Decompress(dst, mut)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	src := []byte(strings.Repeat("frame payload ", 300))
+	frame, err := EncodeFrame(src, LevelDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := ParseFrameHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.OrigSize != len(src) || fi.Stored {
+		t.Fatalf("frame info %+v", fi)
+	}
+	out, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("frame round trip mismatch")
+	}
+}
+
+func TestFrameStoredFallback(t *testing.T) {
+	src := make([]byte, 1024)
+	rng.New(5).Bytes(src)
+	frame, err := EncodeFrame(src, LevelFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := ParseFrameHeader(frame)
+	if !fi.Stored {
+		t.Fatal("random data should be stored raw")
+	}
+	out, err := DecodeFrame(frame)
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("stored frame decode failed: %v", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	src := []byte(strings.Repeat("abc", 500))
+	frame, _ := EncodeFrame(src, LevelDefault)
+
+	short := frame[:10]
+	if _, err := DecodeFrame(short); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	badMagic := append([]byte(nil), frame...)
+	badMagic[0] ^= 1
+	if _, err := DecodeFrame(badMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badCRC := append([]byte(nil), frame...)
+	badCRC[12] ^= 1
+	if _, err := DecodeFrame(badCRC); err == nil {
+		t.Fatal("bad checksum accepted")
+	}
+	truncated := frame[:len(frame)-1]
+	if _, err := DecodeFrame(truncated); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4096, 2048) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(100, 0) != 0 {
+		t.Fatal("zero comp size should yield 0")
+	}
+}
+
+func BenchmarkCompress4KFast(b *testing.B) {
+	src := benchBlock()
+	dst := make([]byte, CompressBound(len(src)))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(dst, src, LevelFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompress4KHigh(b *testing.B) {
+	src := benchBlock()
+	dst := make([]byte, CompressBound(len(src)))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(dst, src, LevelHigh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress4K(b *testing.B) {
+	src := benchBlock()
+	comp, _ := CompressToBuf(src, LevelDefault)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(dst, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBlock() []byte {
+	r := rng.New(42)
+	src := make([]byte, 4096)
+	for i := 0; i < len(src); i += 16 {
+		copy(src[i:], "log-entry: id=")
+		src[i+14] = byte(r.Intn(256))
+		if i+15 < len(src) {
+			src[i+15] = byte(r.Intn(4))
+		}
+	}
+	return src
+}

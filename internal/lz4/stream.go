@@ -1,0 +1,216 @@
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming container: a magic-prefixed sequence of independently
+// compressed blocks, each a Frame, closed by a zero-length terminator.
+// This is what lz4util uses for whole files and what snapshot export
+// uses for chunk images; blocks are independent so a reader can resume
+// mid-stream.
+//
+// Layout:
+//
+//	0:4  stream magic "LZ4s"
+//	4:8  block size the writer used
+//	then per block: u32 frame length, frame bytes
+//	terminator: u32 zero
+const (
+	streamMagic      = 0x7334_5a4c // "LZ4s"
+	DefaultBlockSize = 64 << 10
+	maxStreamBlock   = 8 << 20
+)
+
+// ErrClosed is returned when using a closed stream writer.
+var ErrClosed = errors.New("lz4: stream closed")
+
+// Writer compresses a byte stream block by block.
+type Writer struct {
+	w      io.Writer
+	level  Level
+	block  int
+	buf    []byte // pending uncompressed bytes
+	enc    *Encoder
+	closed bool
+	header bool
+
+	// Stats accumulate across the stream.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// NewWriter creates a streaming compressor with the given block size
+// (0 means DefaultBlockSize).
+func NewWriter(w io.Writer, level Level, blockSize int) (*Writer, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("lz4: invalid level %d", level)
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > maxStreamBlock {
+		return nil, fmt.Errorf("lz4: block size %d exceeds %d", blockSize, maxStreamBlock)
+	}
+	return &Writer{w: w, level: level, block: blockSize, enc: NewEncoder(blockSize)}, nil
+}
+
+func (sw *Writer) writeHeader() error {
+	if sw.header {
+		return nil
+	}
+	sw.header = true
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], streamMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(sw.block))
+	_, err := sw.w.Write(hdr[:])
+	sw.BytesOut += 8
+	return err
+}
+
+// Write buffers p and emits full blocks.
+func (sw *Writer) Write(p []byte) (int, error) {
+	if sw.closed {
+		return 0, ErrClosed
+	}
+	if err := sw.writeHeader(); err != nil {
+		return 0, err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := sw.block - len(sw.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		sw.buf = append(sw.buf, p[:n]...)
+		p = p[n:]
+		if len(sw.buf) == sw.block {
+			if err := sw.flushBlock(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (sw *Writer) flushBlock() error {
+	if len(sw.buf) == 0 {
+		return nil
+	}
+	dst := make([]byte, CompressBound(len(sw.buf)))
+	n, err := sw.enc.Compress(dst, sw.buf, sw.level)
+	if err != nil {
+		return err
+	}
+	frame := WrapFrame(sw.buf, dst[:n])
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := sw.w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(frame); err != nil {
+		return err
+	}
+	sw.BytesIn += int64(len(sw.buf))
+	sw.BytesOut += int64(4 + len(frame))
+	sw.buf = sw.buf[:0]
+	return nil
+}
+
+// Close flushes the final partial block and writes the terminator.
+func (sw *Writer) Close() error {
+	if sw.closed {
+		return ErrClosed
+	}
+	sw.closed = true
+	if err := sw.writeHeader(); err != nil {
+		return err
+	}
+	if err := sw.flushBlock(); err != nil {
+		return err
+	}
+	var z [4]byte
+	_, err := sw.w.Write(z[:])
+	sw.BytesOut += 4
+	return err
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	r      io.Reader
+	buf    []byte // decompressed bytes not yet consumed
+	off    int
+	done   bool
+	header bool
+	block  int
+}
+
+// NewReader creates a streaming decompressor.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+func (sr *Reader) readHeader() error {
+	if sr.header {
+		return nil
+	}
+	sr.header = true
+	var hdr [8]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return fmt.Errorf("lz4: stream header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != streamMagic {
+		return ErrCorrupt
+	}
+	sr.block = int(binary.LittleEndian.Uint32(hdr[4:]))
+	if sr.block <= 0 || sr.block > maxStreamBlock {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Read implements io.Reader.
+func (sr *Reader) Read(p []byte) (int, error) {
+	if err := sr.readHeader(); err != nil {
+		return 0, err
+	}
+	for sr.off == len(sr.buf) {
+		if sr.done {
+			return 0, io.EOF
+		}
+		if err := sr.nextBlock(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, sr.buf[sr.off:])
+	sr.off += n
+	return n, nil
+}
+
+func (sr *Reader) nextBlock() error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(sr.r, lenBuf[:]); err != nil {
+		return fmt.Errorf("lz4: stream block length: %w", err)
+	}
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen == 0 {
+		sr.done = true
+		return nil
+	}
+	if int(frameLen) > FrameHeaderSize+CompressBound(sr.block) {
+		return ErrCorrupt
+	}
+	frame := make([]byte, frameLen)
+	if _, err := io.ReadFull(sr.r, frame); err != nil {
+		return fmt.Errorf("lz4: stream block: %w", err)
+	}
+	orig, err := DecodeFrame(frame)
+	if err != nil {
+		return err
+	}
+	sr.buf = orig
+	sr.off = 0
+	return nil
+}

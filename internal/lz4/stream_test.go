@@ -1,0 +1,203 @@
+package lz4
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/disagg/smartds/internal/rng"
+)
+
+func streamRoundTrip(t *testing.T, src []byte, level Level, blockSize int) []byte {
+	t.Helper()
+	var comp bytes.Buffer
+	w, err := NewWriter(&comp, level, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(NewReader(bytes.NewReader(comp.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("stream round trip mismatch: %d in, %d out", len(src), len(out))
+	}
+	return comp.Bytes()
+}
+
+func TestStreamRoundTripBasic(t *testing.T) {
+	src := []byte(strings.Repeat("streaming compression works ", 5000))
+	comp := streamRoundTrip(t, src, LevelDefault, 0)
+	if len(comp) >= len(src) {
+		t.Fatalf("stream did not compress: %d >= %d", len(comp), len(src))
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	comp := streamRoundTrip(t, nil, LevelFast, 0)
+	// magic+blocksize+terminator
+	if len(comp) != 12 {
+		t.Fatalf("empty stream = %d bytes, want 12", len(comp))
+	}
+}
+
+func TestStreamOddSizesAndBlocks(t *testing.T) {
+	r := rng.New(3)
+	for _, blockSize := range []int{16, 100, 4096, 1 << 16} {
+		for _, n := range []int{1, 15, 16, 17, 99, 100, 101, 5000} {
+			src := make([]byte, n)
+			r.Bytes(src[:n/2]) // half random, half zero
+			streamRoundTrip(t, src, LevelFast, blockSize)
+		}
+	}
+}
+
+func TestStreamMultipleWrites(t *testing.T) {
+	var comp bytes.Buffer
+	w, _ := NewWriter(&comp, LevelDefault, 128)
+	var want bytes.Buffer
+	for i := 0; i < 50; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, i*7%200+1)
+		want.Write(chunk)
+		if _, err := w.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(NewReader(&comp))
+	if err != nil || !bytes.Equal(out, want.Bytes()) {
+		t.Fatalf("multi-write stream mismatch: %v", err)
+	}
+}
+
+func TestStreamWriterStats(t *testing.T) {
+	var comp bytes.Buffer
+	w, _ := NewWriter(&comp, LevelDefault, 0)
+	src := bytes.Repeat([]byte("abc"), 100000)
+	w.Write(src)
+	w.Close()
+	if w.BytesIn != int64(len(src)) {
+		t.Fatalf("BytesIn = %d", w.BytesIn)
+	}
+	if w.BytesOut != int64(comp.Len()) {
+		t.Fatalf("BytesOut = %d, wrote %d", w.BytesOut, comp.Len())
+	}
+}
+
+func TestStreamWriterClosedErrors(t *testing.T) {
+	var comp bytes.Buffer
+	w, _ := NewWriter(&comp, LevelDefault, 0)
+	w.Close()
+	if _, err := w.Write([]byte("x")); err != ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := w.Close(); err != ErrClosed {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestStreamWriterValidation(t *testing.T) {
+	if _, err := NewWriter(io.Discard, Level(0), 0); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+	if _, err := NewWriter(io.Discard, LevelFast, maxStreamBlock+1); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestStreamReaderCorruption(t *testing.T) {
+	src := bytes.Repeat([]byte("data"), 1000)
+	var comp bytes.Buffer
+	w, _ := NewWriter(&comp, LevelDefault, 256)
+	w.Write(src)
+	w.Close()
+	good := comp.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{0, 0, 0, 0}, good[4:]...),
+		"truncated":   good[:len(good)-6],
+		"no term":     good[:len(good)-4],
+		"flip body":   flipByte(good, len(good)/2),
+		"huge length": append(good[:8], 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, data := range cases {
+		if _, err := io.ReadAll(NewReader(bytes.NewReader(data))); err == nil {
+			t.Errorf("%s: corrupt stream accepted", name)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func TestStreamSmallReads(t *testing.T) {
+	src := bytes.Repeat([]byte("tiny reads "), 3000)
+	var comp bytes.Buffer
+	w, _ := NewWriter(&comp, LevelDefault, 512)
+	w.Write(src)
+	w.Close()
+	r := NewReader(&comp)
+	var out []byte
+	buf := make([]byte, 7) // deliberately tiny, unaligned reads
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("small-read stream mismatch")
+	}
+}
+
+func TestStreamProperty(t *testing.T) {
+	f := func(seed uint32, blockSel uint16) bool {
+		local := rng.New(uint64(seed))
+		blockSize := int(blockSel)%2048 + 1
+		src := make([]byte, local.Intn(20000))
+		for i := 0; i < len(src); {
+			n := local.Intn(100) + 1
+			if i+n > len(src) {
+				n = len(src) - i
+			}
+			if local.Float64() < 0.5 {
+				local.Bytes(src[i : i+n])
+			}
+			i += n
+		}
+		var comp bytes.Buffer
+		w, err := NewWriter(&comp, LevelFast, blockSize)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(src); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		out, err := io.ReadAll(NewReader(&comp))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewLatencyHistogram()
+	vals := []float64{1e-6, 2e-6, 3e-6, 4e-6}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if got, want := h.Mean(), 2.5e-6; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 4e-6 || h.Min() != 1e-6 {
+		t.Fatalf("extremes: min=%g max=%g", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	var raw []float64
+	// Deterministic skewed distribution across several decades.
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		u := float64(x>>11) / float64(1<<53)
+		v := 1e-6 * math.Pow(1000, u) // log-uniform on [1us, 1ms]
+		raw = append(raw, v)
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := ExactQuantile(raw, q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Fatalf("q=%g: histogram %g vs exact %g (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(1e-6, 1e-3, 30)
+	h.Record(1e-9) // under
+	h.Record(1.0)  // over
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(0.01) != 1e-9 {
+		t.Fatalf("low quantile should clamp to min seen, got %g", h.Quantile(0.01))
+	}
+	if h.Quantile(0.9999) != 1.0 {
+		t.Fatalf("high quantile should clamp to max seen, got %g", h.Quantile(0.9999))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(float64(i) * 1e-6)
+		b.Record(float64(i) * 2e-6)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if math.Abs(a.Max()-200e-6) > 1e-12 {
+		t.Fatalf("merged max = %g", a.Max())
+	}
+}
+
+func TestHistogramMergeGeometryMismatch(t *testing.T) {
+	a := NewHistogram(1e-6, 1e-3, 30)
+	b := NewHistogram(1e-6, 1e-2, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch merge did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(1e-3)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset did not clear samples")
+	}
+	h.Record(2e-3)
+	if h.Count() != 1 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		h := NewLatencyHistogram()
+		x := uint64(seed) + 1
+		for i := 0; i < 500; i++ {
+			x = x*2862933555777941757 + 3037000493
+			v := 1e-7 + float64(x%1000000)*1e-9
+			h.Record(v)
+		}
+		prev := 0.0
+		for q := 0.01; q <= 1.0; q += 0.01 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterWindows(t *testing.T) {
+	m := NewMeter(0)
+	m.Add(100)
+	if r := m.MarkWindow(2); r != 50 {
+		t.Fatalf("window rate = %g, want 50", r)
+	}
+	m.Add(30)
+	if r := m.RateSince(3); r != 30 {
+		t.Fatalf("RateSince = %g, want 30", r)
+	}
+	if r := m.MarkWindow(3); r != 30 {
+		t.Fatalf("second window = %g, want 30", r)
+	}
+	if m.Total() != 130 {
+		t.Fatalf("total = %g", m.Total())
+	}
+	if r := m.MarkWindow(3); r != 0 {
+		t.Fatalf("zero-width window = %g, want 0", r)
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	if g := BytesPerSecToGbps(12.5e9 / 100 * 100); math.Abs(g-100) > 1e-9 {
+		t.Fatalf("12.5 GB/s = %g Gbps, want 100", g)
+	}
+	if b := GbpsToBytesPerSec(100); math.Abs(b-12.5e9) > 1e-3 {
+		t.Fatalf("100 Gbps = %g B/s, want 12.5e9", b)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FormatDuration(0), "0"},
+		{FormatDuration(500e-9), "500 ns"},
+		{FormatDuration(1.5e-6), "1.50 us"},
+		{FormatDuration(2.5e-3), "2.500 ms"},
+		{FormatDuration(1.25), "1.250 s"},
+		{FormatBytes(512), "512 B"},
+		{FormatBytes(2048), "2.00 KiB"},
+		{FormatBytes(3 * 1024 * 1024), "3.00 MiB"},
+		{FormatBytes(5 * 1024 * 1024 * 1024), "5.00 GiB"},
+		{FormatGbps(12.5e9), "100.00 Gbps"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("format: got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(1e-6)
+	}
+	s := h.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("summary count = %d", s.Count)
+	}
+	str := s.String()
+	if !strings.Contains(str, "n=100") || !strings.Contains(str, "avg=") {
+		t.Fatalf("summary string %q", str)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", "x")
+	tb.AddNote("hello %d", 7)
+	out := tb.String()
+	for _, want := range []string{"== Demo ==", "name", "alpha", "1.5", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	if ExactQuantile(s, 0) != 1 || ExactQuantile(s, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if ExactQuantile(s, 0.5) != 3 {
+		t.Fatalf("median = %g", ExactQuantile(s, 0.5))
+	}
+	if ExactQuantile(nil, 0.5) != 0 {
+		t.Fatal("empty slice quantile should be 0")
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatal("ExactQuantile mutated its input")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", `with"quote`)
+	tb.AddRow("with,comma", "v")
+	got := tb.CSV()
+	want := "a,b\nplain,\"with\"\"quote\"\n\"with,comma\",v\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

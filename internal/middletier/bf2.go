@@ -1,0 +1,169 @@
+package middletier
+
+import (
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// The BF2 path (paper §3.4, Figure 1d): messages land in the SoC's
+// DRAM, Arm cores parse, the on-board engine compresses, and results
+// leave from device memory. The host is never involved, but the SoC's
+// weak DRAM and 40 Gbps engine bound throughput. Payloads traverse
+// device memory four times: network-in write, engine read, engine
+// write, network-out read (≈3.5x effective with compression).
+
+// bf2Recv handles a client message arriving on a BF2 port.
+func (s *Server) bf2Recv(qp *rdma.QP, m *rdma.Message) {
+	req, ok := parseRequest(m)
+	if !ok {
+		return
+	}
+	s.env.Go("bf2.req", func(p *sim.Proc) {
+		// Network-in: the message is written into SoC DRAM.
+		s.bf2Mem.Access(p, m.Size)
+		switch req.hdr.Op {
+		case blockstore.OpWrite:
+			s.bf2Write(p, qp, req)
+		case blockstore.OpRead:
+			s.bf2Read(p, qp, req)
+		}
+	})
+}
+
+// bf2StorageReply charges the inbound DRAM write before routing.
+func (s *Server) bf2StorageReply(m *rdma.Message) {
+	s.env.Go("bf2.ack", func(p *sim.Proc) {
+		s.bf2Mem.Access(p, m.Size)
+		s.onStorageReply(m)
+	})
+}
+
+func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
+	arm := s.nextBF2Core()
+	arm.Parse(p)
+	s.BytesIn += req.size
+
+	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
+	var frame []byte
+	var frameSize float64
+	flags := uint8(0)
+	if bypass {
+		s.BypassHits++
+		frame = req.payload
+		frameSize = req.size
+	} else {
+		// The engine reads and writes SoC DRAM itself (device.Engine
+		// charges both inside Run).
+		if req.payload != nil {
+			out, err := s.bf2Engine.Compress(p, req.payload, s.cfg.Level)
+			if err != nil {
+				panic(err)
+			}
+			frame = lz4.WrapFrame(req.payload, out)
+			frameSize = float64(len(frame))
+		} else {
+			s.bf2Engine.Run(p, req.size, req.size/s.cfg.ModelRatio)
+			frameSize = req.size / s.cfg.ModelRatio
+		}
+		flags = blockstore.FlagCompressed
+	}
+
+	repID, pr := s.newPending(s.cfg.Replicas)
+	rh := blockstore.Header{
+		Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
+		VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
+		ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+		OrigLen: uint32(req.size), CRC: req.hdr.CRC,
+	}
+	var msg []byte
+	if frame != nil {
+		msg = blockstore.Message(&rh, frame)
+	} else {
+		rh.PayloadLen = uint32(frameSize)
+		msg = rh.Encode()
+	}
+	msgSize := blockstore.HeaderSize + frameSize
+
+	// Which port's storage QPs: same port the client is bound to.
+	path := s.bf2PathOf(clientQP)
+	for _, idx := range s.replicasFor(req.hdr) {
+		qp := s.storagePaths[path][idx]
+		// Network-out: read the frame from SoC DRAM per replica.
+		s.bf2Mem.Access(p, msgSize)
+		qp.SendSized(msg, msgSize)
+	}
+	p.Wait(pr.done)
+
+	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	clientQP.Send(reply.Encode())
+	s.WritesDone++
+	s.BytesStored += frameSize * float64(s.cfg.Replicas)
+}
+
+func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
+	arm := s.nextBF2Core()
+	arm.Parse(p)
+
+	repID, pr := s.newPending(1)
+	fh := blockstore.Header{
+		Op: blockstore.OpFetch, ReqID: repID,
+		SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+	}
+	path := s.bf2PathOf(clientQP)
+	idx := s.readReplicaFor(req.hdr)
+	s.storagePaths[path][idx].Send(fh.Encode())
+	p.Wait(pr.done)
+
+	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	if pr.status != blockstore.StatusOK {
+		clientQP.Send(reply.Encode())
+		s.ReadsDone++
+		return
+	}
+	blockSize := float64(s.cfg.BlockSize)
+	var block []byte
+	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
+	switch {
+	case pr.payload != nil && !compressed:
+		block = pr.payload
+		blockSize = float64(len(block))
+	case pr.payload != nil:
+		var err error
+		block, err = lz4.DecodeFrame(pr.payload)
+		if err != nil {
+			reply.Status = blockstore.StatusCorrupt
+			clientQP.Send(reply.Encode())
+			s.ReadsDone++
+			return
+		}
+		blockSize = float64(len(block))
+	case !compressed:
+		blockSize = pr.size
+	}
+	if compressed {
+		// Engine decompression timing (reads the frame, writes the block).
+		s.bf2Engine.Run(p, pr.size, blockSize)
+	}
+	// Network-out read of the reply payload.
+	s.bf2Mem.Access(p, blockSize)
+	if block != nil {
+		clientQP.Send(blockstore.Message(&reply, block))
+	} else {
+		reply.PayloadLen = uint32(blockSize)
+		clientQP.SendSized(reply.Encode(), blockstore.HeaderSize+blockSize)
+	}
+	s.ReadsDone++
+}
+
+// bf2PathOf maps a client QP to its port index.
+func (s *Server) bf2PathOf(qp *rdma.QP) int {
+	addr := qp.ID().Addr
+	for i, st := range s.bf2Stacks {
+		if st.Addr() == addr {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,299 @@
+package middletier
+
+import (
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/host"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/pcie"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// request is one in-flight client I/O.
+type request struct {
+	hdr     blockstore.Header
+	payload []byte  // real block bytes (nil when modeled-only)
+	size    float64 // modeled payload size
+	// hostResident counts payload bytes that AAMS placed in host memory
+	// because the configured split exceeds the header (ablation only);
+	// they must be fetched back before device-side compression.
+	hostResident float64
+}
+
+// parseRequest extracts the request from an incoming message. Modeled
+// traffic carries a real 64-byte header with the payload size implied
+// by the message size.
+func parseRequest(m *rdma.Message) (request, bool) {
+	if m.Data == nil || len(m.Data) < blockstore.HeaderSize {
+		return request{}, false
+	}
+	h, err := blockstore.Decode(m.Data)
+	if err != nil {
+		return request{}, false
+	}
+	req := request{hdr: h, size: m.Size - blockstore.HeaderSize}
+	if len(m.Data) > blockstore.HeaderSize {
+		req.payload = m.Data[blockstore.HeaderSize:]
+		req.size = float64(len(req.payload))
+	}
+	return req, true
+}
+
+// hostRecv is the CPUOnly/Accel entry point: the NIC has already
+// DMA-written the message into host memory.
+func (s *Server) hostRecv(qp *rdma.QP, m *rdma.Message) {
+	req, ok := parseRequest(m)
+	if !ok {
+		return
+	}
+	s.env.Go("mt.req", func(p *sim.Proc) {
+		switch req.hdr.Op {
+		case blockstore.OpWrite:
+			s.hostWrite(p, qp, req)
+		case blockstore.OpRead:
+			s.hostRead(p, qp, req)
+		}
+	})
+}
+
+// softwareCompress runs functional LZ4 on the worker's encoder and
+// returns (frame, modeledSize). Modeled-only payloads use ModelRatio.
+func (s *Server) softwareCompress(core *host.Core, req request) ([]byte, float64) {
+	return s.softwareCompressLeveled(core, req, s.cfg.Level)
+}
+
+// softwareCompressLeveled is softwareCompress at an explicit effort
+// level (a request header may also demand a minimum level).
+func (s *Server) softwareCompressLeveled(core *host.Core, req request, level lz4.Level) ([]byte, float64) {
+	if req.payload == nil {
+		return nil, req.size / s.cfg.ModelRatio
+	}
+	frame, err := encodeFrameWith(s.enc[core.ID()], req.payload, lz4.Level(maxu8(req.hdr.Level, uint8(level))))
+	if err != nil {
+		// Incompressible handled inside EncodeFrame; any other error is
+		// a bug upstream.
+		panic(err)
+	}
+	return frame, float64(len(frame))
+}
+
+func maxu8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// encodeFrameWith is lz4.EncodeFrame using a reusable encoder.
+func encodeFrameWith(enc *lz4.Encoder, block []byte, level lz4.Level) ([]byte, error) {
+	if !level.Valid() {
+		level = lz4.LevelDefault
+	}
+	dst := make([]byte, lz4.CompressBound(len(block)))
+	n, err := enc.Compress(dst, block, level)
+	if err != nil {
+		return nil, err
+	}
+	comp := dst[:n]
+	return lz4.WrapFrame(block, comp), nil
+}
+
+// hostWrite serves one write request on the CPUOnly or Accel path.
+func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
+	core := s.nextCore()
+	core.Parse(p)
+	s.BytesIn += req.size
+
+	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
+	var frame []byte
+	var frameSize float64
+	flags := uint8(0)
+	switch {
+	case bypass:
+		s.BypassHits++
+		frame = req.payload
+		frameSize = req.size
+	case s.cfg.Kind == CPUOnly:
+		// Software LZ4: read the block from DRAM, burn core time (slowed
+		// by DRAM latency amplification when the bus is contended, and
+		// scaled by the chosen compression effort), write the frame back.
+		level := s.chooseLevel(core.QueueLen())
+		s.Mem.Read(p, req.size)
+		core.CompressSlowed(p, req.size, s.Mem.ContentionFactor()*effortTimeFactor(level))
+		frame, frameSize = s.softwareCompressLeveled(core, req, level)
+		s.Mem.Write(p, frameSize)
+		flags = blockstore.FlagCompressed
+	default: // Accel
+		frame, frameSize = s.accelCompress(p, core, req)
+		flags = blockstore.FlagCompressed
+	}
+
+	s.replicateAndReply(p, clientQP, req, frame, frameSize, flags)
+}
+
+// accelCompress bounces the block through the FPGA card: PCIe H2D
+// fetch (from LLC when DDIO holds it), engine time, PCIe D2H
+// write-back (evicted to DRAM later: retained buffer).
+func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byte, float64) {
+	// CPU posts the job to the card.
+	s.accelPCIe.Doorbell(p)
+	// Card fetches the block.
+	fetch := s.accelPCIe.StartDMA(pcie.H2D, req.size)
+	if !s.cfg.DDIO {
+		p.Wait(s.Mem.StartRead(req.size))
+	}
+	p.Wait(fetch)
+	// Engine processes at AccelEngineRate (one job at a time). Its DMA
+	// stream stalls under DRAM contention: fully with DDIO off, partly
+	// (LLC absorbs some traffic) with DDIO on.
+	memF := s.Mem.ContentionFactor()
+	if s.cfg.DDIO {
+		memF = 1 + (memF-1)*0.6
+	}
+	s.accelSlot.Acquire(p)
+	p.Sleep(req.size * memF / s.cfg.AccelEngineRate)
+	s.accelSlot.Release()
+	var frame []byte
+	var frameSize float64
+	if req.payload == nil {
+		frameSize = req.size / s.cfg.ModelRatio
+	} else {
+		var err error
+		frame, err = encodeFrameWith(s.accelEnc, req.payload, s.cfg.Level)
+		if err != nil {
+			panic(err)
+		}
+		frameSize = float64(len(frame))
+	}
+	// Write-back: PCIe D2H plus the eventual DRAM eviction.
+	wb := s.accelPCIe.StartDMA(pcie.D2H, frameSize)
+	p.Wait(s.Mem.StartWrite(frameSize))
+	p.Wait(wb)
+	return frame, frameSize
+}
+
+// replicateAndReply fans the frame out to the replicas, waits for all
+// acks, and replies success to the client. Used by CPUOnly and Accel
+// (the NIC path); BF2 and SmartDS have their own senders.
+func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, frame []byte, frameSize float64, flags uint8) {
+	repID, pr := s.newPending(s.cfg.Replicas)
+	rh := blockstore.Header{
+		Op:        blockstore.OpReplicate,
+		Flags:     flags,
+		ReqID:     repID,
+		VMID:      req.hdr.VMID,
+		SegmentID: req.hdr.SegmentID,
+		ChunkID:   req.hdr.ChunkID,
+		BlockOff:  req.hdr.BlockOff,
+		OrigLen:   uint32(req.size),
+		CRC:       req.hdr.CRC,
+	}
+	var msg []byte
+	if frame != nil {
+		msg = blockstore.Message(&rh, frame)
+	} else {
+		rh.PayloadLen = uint32(frameSize)
+		msg = rh.Encode()
+	}
+	msgSize := blockstore.HeaderSize + frameSize
+
+	for _, idx := range s.replicasFor(req.hdr) {
+		qp := s.storagePaths[0][idx]
+		s.nic.Send(qp, msg, msgSize)
+	}
+	p.Wait(pr.done)
+
+	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
+	s.WritesDone++
+	s.BytesStored += frameSize * float64(s.cfg.Replicas)
+}
+
+// hostRead serves one read request: fetch from one storage server,
+// decompress, reply with the block.
+func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
+	core := s.nextCore()
+	core.Parse(p)
+
+	repID, pr := s.newPending(1)
+	fh := blockstore.Header{
+		Op:        blockstore.OpFetch,
+		ReqID:     repID,
+		SegmentID: req.hdr.SegmentID,
+		ChunkID:   req.hdr.ChunkID,
+		BlockOff:  req.hdr.BlockOff,
+	}
+	idx := s.readReplicaFor(req.hdr)
+	s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
+	p.Wait(pr.done)
+
+	if pr.status != blockstore.StatusOK {
+		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
+		s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
+		s.ReadsDone++
+		return
+	}
+
+	var block []byte
+	blockSize := float64(s.cfg.BlockSize)
+	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
+	switch {
+	case pr.payload != nil && !compressed:
+		// Latency-sensitive blocks were stored raw: forward as-is.
+		block = pr.payload
+		blockSize = float64(len(block))
+	case pr.payload != nil:
+		fi, err := lz4.ParseFrameHeader(pr.payload)
+		if err == nil {
+			blockSize = float64(fi.OrigSize)
+		}
+		switch s.cfg.Kind {
+		case CPUOnly:
+			s.Mem.Read(p, pr.size)
+			core.Decompress(p, blockSize)
+			block, err = lz4.DecodeFrame(pr.payload)
+			s.Mem.Write(p, blockSize)
+		default: // Accel
+			s.accelPCIe.Doorbell(p)
+			fetch := s.accelPCIe.StartDMA(pcie.H2D, pr.size)
+			if !s.cfg.DDIO {
+				p.Wait(s.Mem.StartRead(pr.size))
+			}
+			p.Wait(fetch)
+			s.accelSlot.Acquire(p)
+			p.Sleep(blockSize / s.cfg.AccelEngineRate)
+			s.accelSlot.Release()
+			block, err = lz4.DecodeFrame(pr.payload)
+			wb := s.accelPCIe.StartDMA(pcie.D2H, blockSize)
+			p.Wait(s.Mem.StartWrite(blockSize))
+			p.Wait(wb)
+		}
+		if err != nil {
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusCorrupt}
+			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
+			s.ReadsDone++
+			return
+		}
+	case compressed:
+		// Modeled: charge CPU decompression time for the block.
+		if s.cfg.Kind == CPUOnly {
+			s.Mem.Read(p, pr.size)
+			core.Decompress(p, blockSize)
+			s.Mem.Write(p, blockSize)
+		}
+	default:
+		// Modeled, stored raw: nothing to decompress.
+		blockSize = pr.size
+	}
+
+	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusOK}
+	var msg []byte
+	if block != nil {
+		msg = blockstore.Message(&reply, block)
+	} else {
+		reply.PayloadLen = uint32(blockSize)
+		msg = reply.Encode()
+	}
+	s.nic.Send(clientQP, msg, blockstore.HeaderSize+blockSize)
+	s.ReadsDone++
+}

@@ -1,0 +1,641 @@
+// Package middletier implements the four middle-tier server designs
+// the paper compares (Figure 1):
+//
+//   - CPUOnly: plain RDMA NIC; the host CPU parses headers and runs
+//     software LZ4; every byte crosses PCIe and host memory.
+//   - Accel: NIC + PCIe FPGA compression card (U280-like); the CPU
+//     still controls every message, payloads cross PCIe twice more.
+//   - BF2: SoC SmartNIC (BlueField-2-like); Arm cores parse, an
+//     on-board 40 Gbps engine compresses, nothing touches the host.
+//   - SmartDS: the paper's contribution; AAMS splits each message so
+//     only 64-byte headers reach the host while per-port 100 Gbps
+//     engines compress payloads in device memory (internal/core).
+//
+// All four serve the same protocol (internal/blockstore): write
+// requests are compressed (unless latency-sensitive), replicated to
+// three storage servers, acknowledged to the client; read requests
+// fetch, decompress, and return the block. Maintenance services (LSM
+// compaction, garbage collection, snapshots) run alongside.
+package middletier
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/core"
+	"github.com/disagg/smartds/internal/device"
+	"github.com/disagg/smartds/internal/host"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/mem"
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/pcie"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/storage"
+)
+
+// Kind selects the middle-tier design.
+type Kind int
+
+// The four designs of Figure 1.
+const (
+	CPUOnly Kind = iota
+	Accel
+	BF2
+	SmartDS
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CPUOnly:
+		return "CPU-only"
+	case Accel:
+		return "Acc"
+	case BF2:
+		return "BF2"
+	case SmartDS:
+		return "SmartDS"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a middle-tier server.
+type Config struct {
+	Kind    Kind
+	Workers int // host CPU cores serving I/O (x-axis of Figure 7)
+	Ports   int // network ports (SmartDS-N; BF2 has 2; others 1)
+
+	Level lz4.Level // compression effort for non-bypass writes
+	// AdaptiveEffort implements the paper's §2.2.1 policy: idle
+	// compressors spend more effort (better ratio), loaded ones fall
+	// back to the fastest level. Level is then the mid-load setting.
+	AdaptiveEffort bool
+	Replicas       int     // write replication factor (3 in the paper)
+	BlockSize      int     // I/O block size (4 KB)
+	ModelRatio     float64 // compression ratio assumed for modeled-only payloads
+
+	// DDIO mirrors the BIOS toggle for the Accel baseline (Fig. 8).
+	DDIO bool
+	// BufferLifetime drives the retained-working-set DDIO computation
+	// (§3.2 measures ~32 ms).
+	BufferLifetime float64
+
+	PortRate  float64
+	CPU       host.CPUConfig
+	Mem       mem.Config
+	PCIe      pcie.Config
+	Transport rdma.Config
+
+	// AccelEngineRate is the U280 card's compression throughput.
+	AccelEngineRate float64
+	// SDSEngineRate overrides the per-port SmartDS engine throughput
+	// (default 100 Gbps; the engine-rate ablation sweeps it).
+	SDSEngineRate float64
+	// BF2EngineRate is the SoC's compression engine (~40 Gbps); its
+	// DRAM is BF2MemRate (§3.4: two weak DDR channels).
+	BF2EngineRate float64
+	BF2MemRate    float64
+	BF2ParseTime  float64
+
+	// SmartDSInflight is the recv-descriptor pool depth per client
+	// connection.
+	SmartDSInflight int
+	// SplitBytes is how many leading bytes of each message AAMS places
+	// in host memory (64 = just the block-storage header; the ablation
+	// benches sweep it up to the whole message, which degenerates into
+	// the accelerator baseline's PCIe cost). Values other than the
+	// header size imply modeled payloads.
+	SplitBytes int
+	// HBM overrides the SmartDS device memory (tests shrink it).
+	HBM device.MemoryConfig
+}
+
+// DefaultConfig returns the paper's testbed parameters for a kind.
+func DefaultConfig(kind Kind) Config {
+	cfg := Config{
+		Kind:            kind,
+		Workers:         2,
+		Ports:           1,
+		Level:           lz4.LevelDefault,
+		Replicas:        3,
+		BlockSize:       4096,
+		ModelRatio:      2.1,
+		DDIO:            true,
+		BufferLifetime:  32e-3,
+		PortRate:        12.5e9,
+		CPU:             host.DefaultCPUConfig(),
+		Mem:             mem.DefaultConfig(),
+		PCIe:            pcie.DefaultConfig(),
+		Transport:       rdma.DefaultConfig(),
+		AccelEngineRate: 12.5e9,
+		BF2EngineRate:   5e9,
+		BF2MemRate:      19e9,
+		BF2ParseTime:    600e-9,
+		SmartDSInflight: 64,
+		SplitBytes:      blockstore.HeaderSize,
+		HBM:             device.DefaultHBM(),
+	}
+	switch kind {
+	case BF2:
+		cfg.Ports = 2
+	case SmartDS:
+		cfg.Ports = 1
+	}
+	return cfg
+}
+
+// pendingReq tracks a fan-out to storage servers (replication) or a
+// single fetch.
+type pendingReq struct {
+	remaining int
+	done      *sim.Event
+	status    blockstore.Status
+	payload   []byte  // fetch replies: the stored frame (real bytes)
+	size      float64 // fetch replies: modeled frame size
+	hdr       blockstore.Header
+	// release, when set, returns the receive descriptor holding the
+	// fetched payload (SmartDS read path).
+	release func()
+}
+
+// Server is one middle-tier server of the configured kind.
+type Server struct {
+	env    *sim.Env
+	cfg    Config
+	fabric *netsim.Fabric
+
+	// Host resources (unused by BF2's data path but always present:
+	// the machine still exists).
+	Mem   *mem.System
+	cpu   *host.Pool
+	cores []*host.Core
+	rr    int
+
+	// CPUOnly / Accel front end.
+	nic       *host.NIC
+	accelPCIe *pcie.Link
+	accelSlot *sim.Resource
+	accelEnc  *lz4.Encoder
+
+	// BF2.
+	bf2Mem    *device.Memory
+	bf2Engine *device.LZ4Engine
+	bf2Stacks []*rdma.Stack
+	bf2Pool   *host.Pool
+	bf2Cores  []*host.Core
+	bf2RR     int
+
+	// SmartDS.
+	sds *core.Device
+
+	// Per-core software LZ4 encoders (functional CPU compression).
+	enc map[int]*lz4.Encoder
+
+	// Replication connections: storagePaths[path][replica].
+	storagePaths [][]*rdma.QP
+	serverDown   []bool
+	numStorage   int
+	nextPath     int
+	// placement records which storage servers hold each chunk's
+	// replicas (the chunk -> server mapping the paper's middle tier
+	// owns, §2.1); writes create it, reads consult it, fail-over
+	// rewrites it.
+	placement map[chunkKey][]int
+	readRR    int
+
+	pending map[uint64]*pendingReq
+	nextRep uint64
+
+	// Counters.
+	WritesDone  uint64
+	ReadsDone   uint64
+	BypassHits  uint64
+	BytesIn     float64
+	BytesStored float64
+
+	clientConns int
+}
+
+// New builds a middle-tier server of cfg.Kind attached to the fabric.
+func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
+	def := DefaultConfig(cfg.Kind)
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = def.Ports
+	}
+	if cfg.Level == 0 {
+		cfg.Level = def.Level
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = def.Replicas
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = def.BlockSize
+	}
+	if cfg.ModelRatio <= 0 {
+		cfg.ModelRatio = def.ModelRatio
+	}
+	if cfg.BufferLifetime <= 0 {
+		cfg.BufferLifetime = def.BufferLifetime
+	}
+	if cfg.PortRate <= 0 {
+		cfg.PortRate = def.PortRate
+	}
+	if cfg.AccelEngineRate <= 0 {
+		cfg.AccelEngineRate = def.AccelEngineRate
+	}
+	if cfg.BF2EngineRate <= 0 {
+		cfg.BF2EngineRate = def.BF2EngineRate
+	}
+	if cfg.BF2MemRate <= 0 {
+		cfg.BF2MemRate = def.BF2MemRate
+	}
+	if cfg.BF2ParseTime <= 0 {
+		cfg.BF2ParseTime = def.BF2ParseTime
+	}
+	if cfg.SmartDSInflight <= 0 {
+		cfg.SmartDSInflight = def.SmartDSInflight
+	}
+	if cfg.SplitBytes <= 0 {
+		cfg.SplitBytes = def.SplitBytes
+	}
+	cfg.Mem.DDIOEnabled = cfg.DDIO
+
+	s := &Server{
+		env:       env,
+		cfg:       cfg,
+		fabric:    fabric,
+		Mem:       mem.New(env, cfg.Mem),
+		cpu:       host.NewPool(env, cfg.CPU),
+		enc:       make(map[int]*lz4.Encoder),
+		pending:   make(map[uint64]*pendingReq),
+		placement: make(map[chunkKey][]int),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		c, err := s.cpu.Claim()
+		if err != nil {
+			panic(fmt.Sprintf("middletier: cannot claim %d cores: %v", cfg.Workers, err))
+		}
+		s.cores = append(s.cores, c)
+		s.enc[c.ID()] = lz4.NewEncoder(cfg.BlockSize)
+	}
+
+	switch cfg.Kind {
+	case CPUOnly, Accel:
+		s.nic = host.NewNIC(env, fabric, "mt-nic", cfg.PortRate, cfg.PCIe, cfg.Transport, s.Mem)
+		s.applyDDIOFractions()
+		if cfg.Kind == Accel {
+			s.accelPCIe = pcie.New(env, "mt-accel.pcie", cfg.PCIe)
+			s.accelSlot = env.NewResource("mt-accel.engine", 1)
+			s.accelEnc = lz4.NewEncoder(cfg.BlockSize)
+		}
+	case BF2:
+		s.bf2Mem = device.NewMemory(env, "bf2", device.MemoryConfig{
+			Capacity:      16 << 30,
+			BytesPerSec:   cfg.BF2MemRate,
+			AccessLatency: 150e-9,
+		})
+		s.bf2Engine = device.NewLZ4Engine(env, "bf2.lz4", s.bf2Mem, cfg.BF2EngineRate, 64<<10)
+		for i := 0; i < cfg.Ports; i++ {
+			port := fabric.NewPort(netsim.Addr(fmt.Sprintf("mt-bf2-p%d", i)), cfg.PortRate)
+			s.bf2Stacks = append(s.bf2Stacks, rdma.NewStack(env, port, cfg.Transport))
+		}
+		armCfg := host.CPUConfig{PhysCores: 4, ParseTime: cfg.BF2ParseTime,
+			CompressBytesPerSec: 0.6e9, SMTPairBytesPerSec: 0.8e9}
+		s.bf2Pool = host.NewPool(env, armCfg)
+		for i := 0; i < 8; i++ {
+			c, _ := s.bf2Pool.Claim()
+			s.bf2Cores = append(s.bf2Cores, c)
+		}
+	case SmartDS:
+		devCfg := core.DefaultConfig(cfg.Ports)
+		devCfg.PortBytesPerSec = cfg.PortRate
+		if cfg.SDSEngineRate > 0 {
+			devCfg.EngineBytesPerSec = cfg.SDSEngineRate
+		}
+		devCfg.PCIe = cfg.PCIe
+		devCfg.Transport = cfg.Transport
+		devCfg.HBM = cfg.HBM
+		s.sds = core.NewDevice(env, "mt-sds", fabric, s.Mem, devCfg)
+	default:
+		panic(fmt.Sprintf("middletier: unknown kind %d", cfg.Kind))
+	}
+	return s
+}
+
+// applyDDIOFractions sets the NIC's DRAM traffic shares from the LLC
+// model: retained buffers always evict (write fraction ~1), while TX
+// reads hit the LLC only when DDIO holds the just-produced data.
+func (s *Server) applyDDIOFractions() {
+	traffic := s.cfg.PortRate // worst-case retained traffic
+	retained := mem.RetainedWorkingSet(traffic, s.cfg.BufferLifetime)
+	s.nic.MemWriteFraction = s.Mem.WriteEvictFraction(retained)
+	if s.cfg.DDIO {
+		s.nic.MemReadFraction = 0
+	} else {
+		s.nic.MemReadFraction = 1
+	}
+}
+
+// Config returns the server's effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Kind returns the design variant.
+func (s *Server) Kind() Kind { return s.cfg.Kind }
+
+// NIC exposes the host NIC (CPUOnly/Accel) for bandwidth snapshots.
+func (s *Server) NIC() *host.NIC { return s.nic }
+
+// AccelPCIe exposes the accelerator card's link (Accel).
+func (s *Server) AccelPCIe() *pcie.Link { return s.accelPCIe }
+
+// Device exposes the SmartDS card (SmartDS).
+func (s *Server) Device() *core.Device { return s.sds }
+
+// CPUPool exposes the host CPU pool.
+func (s *Server) CPUPool() *host.Pool { return s.cpu }
+
+// effortTimeFactor scales software compression time by level: deeper
+// match searches cost more core time (LZ4 -> LZ4HC-like growth).
+func effortTimeFactor(level lz4.Level) float64 {
+	switch {
+	case level <= lz4.LevelFast:
+		return 0.8
+	case level <= lz4.LevelDefault:
+		return 1.0
+	case level <= lz4.LevelHigh:
+		return 2.0
+	default:
+		return 4.0
+	}
+}
+
+// chooseLevel applies the adaptive-effort policy given the local
+// compressor's queue length.
+func (s *Server) chooseLevel(queueLen int) lz4.Level {
+	if !s.cfg.AdaptiveEffort {
+		return s.cfg.Level
+	}
+	switch {
+	case queueLen == 0:
+		return lz4.LevelHigh
+	case queueLen < 4:
+		return s.cfg.Level
+	default:
+		return lz4.LevelFast
+	}
+}
+
+// nextCore rotates across the claimed worker cores.
+func (s *Server) nextCore() *host.Core {
+	c := s.cores[s.rr%len(s.cores)]
+	s.rr++
+	return c
+}
+
+func (s *Server) nextBF2Core() *host.Core {
+	c := s.bf2Cores[s.bf2RR%len(s.bf2Cores)]
+	s.bf2RR++
+	return c
+}
+
+// newPending registers a fan-out of n expected replies.
+func (s *Server) newPending(n int) (uint64, *pendingReq) {
+	s.nextRep++
+	pr := &pendingReq{remaining: n, done: s.env.NewEvent(), status: blockstore.StatusOK}
+	s.pending[s.nextRep] = pr
+	return s.nextRep, pr
+}
+
+// completePending records one reply for a fan-out.
+func (s *Server) completePending(repID uint64, st blockstore.Status, payload []byte, size float64, hdr blockstore.Header) {
+	pr, ok := s.pending[repID]
+	if !ok {
+		return // stale (e.g. duplicate ack after failover)
+	}
+	if st != blockstore.StatusOK {
+		pr.status = st
+	}
+	if payload != nil || size > 0 {
+		pr.payload = payload
+		pr.size = size
+		pr.hdr = hdr
+	}
+	pr.remaining--
+	if pr.remaining <= 0 {
+		delete(s.pending, repID)
+		pr.done.Trigger(nil)
+	}
+}
+
+// sendMaintenance ships one maintenance payload (compaction output) to
+// a storage server over whatever front end the design has.
+func (s *Server) sendMaintenance(hdr blockstore.Header, idx int, size float64) {
+	msg := hdr.Encode()
+	total := float64(blockstore.HeaderSize) + size
+	switch s.cfg.Kind {
+	case CPUOnly, Accel:
+		s.nic.Send(s.storagePaths[0][idx], msg, total)
+	case BF2:
+		s.storagePaths[0][idx].SendSized(msg, total)
+	case SmartDS:
+		// Maintenance data lives in host memory; it crosses PCIe like
+		// any host-sourced payload, then leaves via port 0.
+		hbuf := s.sds.HostAlloc(blockstore.HeaderSize)
+		copy(hbuf.Bytes(), msg)
+		inst, _ := s.sds.OpenRoCEInstance(0)
+		// Host-resident payload: charge the PCIe crossing explicitly by
+		// sending it as part of the assembled message's host half.
+		big := s.sds.HostAlloc(int(total))
+		copy(big.Bytes(), msg)
+		inst.DevMixedSend(s.storagePaths[0][idx], big, int(total), nil, 0)
+	}
+}
+
+// completePendingAll drains a pending entry with no storage attached
+// (degenerate test configurations).
+func (s *Server) completePendingAll(repID uint64) {
+	for {
+		pr, ok := s.pending[repID]
+		if !ok {
+			return
+		}
+		_ = pr
+		s.completePending(repID, blockstore.StatusOK, nil, 0, blockstore.Header{})
+	}
+}
+
+// onStorageReply routes replicate/fetch replies back to their pending
+// fan-outs. Used by the CPUOnly/Accel/BF2 paths; SmartDS routes
+// through recv descriptors (see smartds.go).
+func (s *Server) onStorageReply(m *rdma.Message) {
+	if m.Data == nil || len(m.Data) < blockstore.HeaderSize {
+		return
+	}
+	h, err := blockstore.Decode(m.Data)
+	if err != nil {
+		return
+	}
+	switch h.Op {
+	case blockstore.OpReplicateReply:
+		s.completePending(h.ReqID, h.Status, nil, 0, h)
+	case blockstore.OpFetchReply:
+		payload := m.Data[blockstore.HeaderSize:]
+		size := float64(len(payload))
+		if len(payload) == 0 {
+			payload = nil
+			size = float64(h.PayloadLen) // modeled frame
+		}
+		s.completePending(h.ReqID, h.Status, payload, size, h)
+	}
+}
+
+// chunkKey identifies one chunk for placement.
+type chunkKey struct {
+	seg   uint64
+	chunk uint32
+}
+
+// replicasFor returns the replica set for a request's chunk: existing
+// placement if recorded, else a fresh healthy set. Down servers in an
+// existing set are replaced by healthy ones (fail-over re-replication),
+// and the table is updated.
+func (s *Server) replicasFor(hdr blockstore.Header) []int {
+	key := chunkKey{seg: hdr.SegmentID, chunk: hdr.ChunkID}
+	set, ok := s.placement[key]
+	if !ok {
+		set = s.healthyReplicas()
+		s.placement[key] = set
+		return set
+	}
+	for i, idx := range set {
+		if s.serverDown[idx] {
+			set[i] = s.substituteReplica(set)
+		}
+	}
+	return set
+}
+
+// substituteReplica finds a healthy server outside the given set.
+func (s *Server) substituteReplica(set []int) int {
+	for i := 0; i < s.numStorage; i++ {
+		idx := (s.nextPath + i) % s.numStorage
+		if s.serverDown[idx] {
+			continue
+		}
+		in := false
+		for _, m := range set {
+			if m == idx {
+				in = true
+				break
+			}
+		}
+		if !in {
+			s.nextPath++
+			return idx
+		}
+	}
+	panic("middletier: no healthy substitute replica available")
+}
+
+// readReplicaFor picks a healthy holder of the request's chunk,
+// rotating across the replica set for balance.
+func (s *Server) readReplicaFor(hdr blockstore.Header) int {
+	key := chunkKey{seg: hdr.SegmentID, chunk: hdr.ChunkID}
+	set, ok := s.placement[key]
+	if !ok {
+		// Never written through this server: fall back to any healthy
+		// server (the storage tier will answer not-found).
+		return s.healthyReplicas()[0]
+	}
+	for i := 0; i < len(set); i++ {
+		idx := set[(s.readRR+i)%len(set)]
+		if !s.serverDown[idx] {
+			s.readRR++
+			return idx
+		}
+	}
+	panic("middletier: all replicas of a chunk are down")
+}
+
+// healthyReplicas picks cfg.Replicas distinct healthy storage servers,
+// rotating the starting point for balance. It panics when fewer
+// healthy servers remain than the replication factor — the cluster has
+// lost durability and the control plane must intervene.
+func (s *Server) healthyReplicas() []int {
+	var out []int
+	n := s.numStorage
+	for i := 0; i < n && len(out) < s.cfg.Replicas; i++ {
+		idx := (s.nextPath + i) % n
+		if !s.serverDown[idx] {
+			out = append(out, idx)
+		}
+	}
+	s.nextPath++
+	if len(out) < s.cfg.Replicas {
+		panic(fmt.Sprintf("middletier: only %d healthy storage servers for %d replicas", len(out), s.cfg.Replicas))
+	}
+	return out
+}
+
+// SetServerDown marks a storage server failed (or recovered); the
+// fail-over maintenance path reroutes subsequent writes.
+func (s *Server) SetServerDown(idx int, down bool) {
+	s.serverDown[idx] = down
+}
+
+// ConnectStorage wires the server to its storage back ends. For
+// multi-port designs every port gets its own QP set so replication
+// traffic exits the port the request arrived on.
+func (s *Server) ConnectStorage(servers []*storage.Server) {
+	s.numStorage = len(servers)
+	s.serverDown = make([]bool, len(servers))
+	paths := 1
+	switch s.cfg.Kind {
+	case BF2, SmartDS:
+		paths = s.cfg.Ports
+	}
+	s.storagePaths = make([][]*rdma.QP, paths)
+	for pi := 0; pi < paths; pi++ {
+		for _, srv := range servers {
+			var local *rdma.QP
+			switch s.cfg.Kind {
+			case CPUOnly, Accel:
+				local = s.nic.CreateQP(func(_ *rdma.QP, m *rdma.Message) { s.onStorageReply(m) })
+			case BF2:
+				local = s.bf2Stacks[pi].CreateQP()
+				local.OnRecv = s.bf2StorageReply
+			case SmartDS:
+				local = s.sdsStorageQP(pi)
+			}
+			remote := srv.AcceptQP()
+			rdma.Connect(local, remote)
+			s.storagePaths[pi] = append(s.storagePaths[pi], local)
+		}
+	}
+}
+
+// ConnectClient attaches one client (VM storage agent): the returned
+// QP is the client's side, ready to send requests. Connections are
+// spread across ports round-robin.
+func (s *Server) ConnectClient(peer *rdma.Stack) *rdma.QP {
+	clientQP := peer.CreateQP()
+	var local *rdma.QP
+	switch s.cfg.Kind {
+	case CPUOnly, Accel:
+		local = s.nic.CreateQP(s.hostRecv)
+	case BF2:
+		stack := s.bf2Stacks[s.clientConns%len(s.bf2Stacks)]
+		local = stack.CreateQP()
+		qp := local
+		local.OnRecv = func(m *rdma.Message) { s.bf2Recv(qp, m) }
+	case SmartDS:
+		local = s.sdsClientQP(s.clientConns % s.cfg.Ports)
+	}
+	s.clientConns++
+	rdma.Connect(clientQP, local)
+	return clientQP
+}

@@ -1,0 +1,341 @@
+package middletier
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/core"
+	"github.com/disagg/smartds/internal/device"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/pcie"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// The SmartDS path (paper §4, Listing 1): recv descriptors split each
+// incoming message — 64-byte header to host memory, payload to HBM.
+// The host CPU runs only the flexible control logic (parse, placement
+// decisions, descriptor management); the per-port hardware engine
+// compresses payloads entirely inside device memory; the Assemble
+// module gathers header+payload into outgoing replicate messages.
+
+// completionCPUTime is the host cost of handling one completion event
+// (poll + bookkeeping); the paper budgets two host cores per port.
+const completionCPUTime = 50e-9
+
+// sdsClientConn is one client connection: a QP plus its descriptor
+// pool.
+type sdsClientConn struct {
+	s     *Server
+	inst  *core.Instance
+	qp    *rdma.QP
+	hbufs []*core.HostBuf
+	dbufs []*device.Buffer
+}
+
+// sdsClientQP attaches a new client connection to the given port.
+func (s *Server) sdsClientQP(portIdx int) *rdma.QP {
+	inst, err := s.sds.OpenRoCEInstance(portIdx)
+	if err != nil {
+		panic(err)
+	}
+	conn := &sdsClientConn{s: s, inst: inst, qp: inst.CreateQP()}
+	maxPayload := s.cfg.BlockSize + 1024
+	for i := 0; i < s.cfg.SmartDSInflight; i++ {
+		dbuf, err := s.sds.DevAlloc(maxPayload)
+		if err != nil {
+			panic(fmt.Sprintf("middletier: HBM exhausted sizing descriptor pool: %v", err))
+		}
+		conn.hbufs = append(conn.hbufs, s.sds.HostAlloc(s.cfg.SplitBytes))
+		conn.dbufs = append(conn.dbufs, dbuf)
+	}
+	for i := range conn.hbufs {
+		conn.post(i)
+	}
+	return conn.qp
+}
+
+// post arms descriptor slot i and chains its completion handler.
+func (c *sdsClientConn) post(i int) {
+	comp := c.inst.DevMixedRecv(c.qp, c.hbufs[i], c.s.cfg.SplitBytes, c.dbufs[i], c.dbufs[i].Size())
+	comp.Event().OnTrigger(func(v interface{}) {
+		res := v.(core.Result)
+		c.s.env.Go("sds.req", func(p *sim.Proc) {
+			// The descriptor is rearmed as soon as its payload buffer has
+			// been consumed (right after compression for ordinary writes),
+			// which keeps the receive pipeline deep during the replication
+			// round trip.
+			reposted := false
+			repost := func() {
+				if !reposted {
+					reposted = true
+					c.post(i)
+				}
+			}
+			c.handle(p, i, res, repost)
+			repost()
+		})
+	})
+}
+
+// handle serves one split request; it returns once the descriptor's
+// buffers can be reused.
+func (c *sdsClientConn) handle(p *sim.Proc, i int, res core.Result, repost func()) {
+	s := c.s
+	if res.Err != nil {
+		return
+	}
+	hdr, err := blockstore.Decode(c.hbufs[i].Bytes())
+	if err != nil {
+		return
+	}
+	req := request{hdr: hdr, size: float64(res.Size)}
+	if res.Placed > 0 {
+		req.payload = c.dbufs[i].Bytes()[:res.Placed]
+	}
+	// With an oversized split (ablation), part of the payload landed in
+	// host memory; account for it in the request size.
+	if extra := s.cfg.SplitBytes - blockstore.HeaderSize; extra > 0 &&
+		hdr.Op == blockstore.OpWrite && hdr.OrigLen > 0 {
+		req.size = float64(hdr.OrigLen)
+		req.hostResident = float64(extra)
+		if req.hostResident > req.size {
+			req.hostResident = req.size
+		}
+		req.payload = nil // functional path requires the header-only split
+	}
+	core := s.nextCore()
+	core.Parse(p)
+
+	switch hdr.Op {
+	case blockstore.OpWrite:
+		s.sdsWrite(p, c, i, req, repost)
+	case blockstore.OpRead:
+		repost() // reads carry no payload
+		s.sdsRead(p, c, req)
+	}
+}
+
+// sdsWrite serves one write: optional engine compression in HBM, then
+// assembled replicate messages, then the client ack.
+func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, repost func()) {
+	s.BytesIn += req.size
+	inst := c.inst
+	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
+
+	var payloadBuf *device.Buffer
+	var payloadSize float64
+	var freePayload bool
+	flags := uint8(0)
+
+	if bypass {
+		s.BypassHits++
+		payloadBuf = c.dbufs[slot]
+		payloadSize = req.size
+	} else {
+		dst, err := s.sds.DevAlloc(lz4.CompressBound(s.cfg.BlockSize))
+		if err != nil {
+			panic(fmt.Sprintf("middletier: HBM exhausted for compression output: %v", err))
+		}
+		freePayload = true
+		if req.hostResident > 0 {
+			// Fetch the host-resident payload prefix back into HBM so
+			// the engine sees a contiguous block — the round trip an
+			// oversized split costs.
+			fetch := s.sds.PCIe().StartDMA(pcie.H2D, req.hostResident)
+			p.Wait(s.Mem.StartRead(req.hostResident))
+			p.Wait(fetch)
+			p.Wait(s.sds.HBM().StartAccess(req.hostResident))
+		}
+		if req.payload != nil {
+			comp := inst.DevFunc(c.dbufs[slot], len(req.payload), dst, s.cfg.Level)
+			res := core.Poll(p, comp)
+			if res.Err != nil {
+				panic(res.Err)
+			}
+			// Wrap as a frame in place: the storage server persists
+			// frames. Rebuild dst to hold the frame bytes.
+			frame := lz4.WrapFrame(req.payload, dst.Bytes()[:res.Size])
+			copy(dst.Bytes(), frame)
+			payloadSize = float64(len(frame))
+		} else {
+			inst.Engine().Run(p, req.size, req.size/s.cfg.ModelRatio)
+			payloadSize = req.size/s.cfg.ModelRatio + lz4.FrameHeaderSize
+		}
+		payloadBuf = dst
+		flags = blockstore.FlagCompressed
+		repost() // the descriptor's payload buffer is consumed
+	}
+
+	repID, pr := s.newPending(s.cfg.Replicas)
+	rh := blockstore.Header{
+		Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
+		VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
+		ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+		OrigLen: uint32(req.size), CRC: req.hdr.CRC,
+		PayloadLen: uint32(payloadSize),
+	}
+	repHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+	copy(repHdr.Bytes(), rh.Encode())
+
+	path := inst.Index()
+	for _, idx := range s.replicasFor(req.hdr) {
+		inst.DevMixedSend(s.storagePaths[path][idx], repHdr, blockstore.HeaderSize, payloadBuf, int(payloadSize))
+	}
+	p.Wait(pr.done)
+	s.nextCore().Work(p, completionCPUTime*float64(s.cfg.Replicas))
+
+	if freePayload {
+		payloadBuf.Free()
+	}
+
+	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+	copy(replyHdr.Bytes(), reply.Encode())
+	inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
+	s.nextCore().Work(p, completionCPUTime)
+	s.WritesDone++
+	s.BytesStored += payloadSize * float64(s.cfg.Replicas)
+}
+
+// sdsRead serves one read: fetch the frame from a storage server into
+// HBM, engine-decompress it there, and assemble the reply.
+func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
+	inst := c.inst
+	repID, pr := s.newPending(1)
+	fh := blockstore.Header{
+		Op: blockstore.OpFetch, ReqID: repID,
+		SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+	}
+	fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+	copy(fetchHdr.Bytes(), fh.Encode())
+	path := inst.Index()
+	idx := s.readReplicaFor(req.hdr)
+	inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
+	p.Wait(pr.done)
+	s.nextCore().Work(p, completionCPUTime)
+
+	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+	if pr.status != blockstore.StatusOK {
+		copy(replyHdr.Bytes(), reply.Encode())
+		inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
+		if pr.release != nil {
+			pr.release()
+		}
+		s.ReadsDone++
+		return
+	}
+
+	blockSize := float64(s.cfg.BlockSize)
+	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
+	var block []byte
+	if pr.payload != nil {
+		if compressed {
+			var err error
+			block, err = lz4.DecodeFrame(pr.payload)
+			if err != nil {
+				reply.Status = blockstore.StatusCorrupt
+				copy(replyHdr.Bytes(), reply.Encode())
+				inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
+				if pr.release != nil {
+					pr.release()
+				}
+				s.ReadsDone++
+				return
+			}
+		} else {
+			// Stored raw: the fetched bytes are the block.
+			block = append([]byte(nil), pr.payload...)
+		}
+		blockSize = float64(len(block))
+	} else if !compressed {
+		blockSize = pr.size
+	}
+	var blockBuf *device.Buffer
+	var allocErr error
+	if block != nil {
+		blockBuf, allocErr = s.sds.DevAlloc(len(block))
+	} else {
+		blockBuf, allocErr = s.sds.DevAlloc(int(blockSize))
+	}
+	if allocErr != nil {
+		panic(allocErr)
+	}
+	if block != nil {
+		copy(blockBuf.Bytes(), block)
+	}
+	if compressed {
+		// Engine decompression timing inside HBM.
+		inst.Engine().Run(p, pr.size, blockSize)
+	}
+	if pr.release != nil {
+		pr.release()
+	}
+
+	reply.PayloadLen = uint32(blockSize)
+	copy(replyHdr.Bytes(), reply.Encode())
+	comp := inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, blockBuf, int(blockSize))
+	core.Poll(p, comp)
+	blockBuf.Free()
+	s.ReadsDone++
+}
+
+// sdsStorageQP builds the instance-side QP for one storage connection
+// plus its ack/fetch-reply descriptor pool.
+func (s *Server) sdsStorageQP(portIdx int) *rdma.QP {
+	inst, err := s.sds.OpenRoCEInstance(portIdx)
+	if err != nil {
+		panic(err)
+	}
+	qp := inst.CreateQP()
+	const ackDepth = 64
+	maxFrame := lz4.CompressBound(s.cfg.BlockSize) + lz4.FrameHeaderSize
+	for i := 0; i < ackDepth; i++ {
+		hbuf := s.sds.HostAlloc(blockstore.HeaderSize)
+		dbuf, allocErr := s.sds.DevAlloc(maxFrame)
+		if allocErr != nil {
+			panic(allocErr)
+		}
+		s.postAckDesc(inst, qp, hbuf, dbuf)
+	}
+	return qp
+}
+
+// postAckDesc arms one storage-reply descriptor. Replicate acks repost
+// immediately; fetch replies hand the device buffer to the waiting
+// read request and repost on release.
+func (s *Server) postAckDesc(inst *core.Instance, qp *rdma.QP, hbuf *core.HostBuf, dbuf *device.Buffer) {
+	comp := inst.DevMixedRecv(qp, hbuf, blockstore.HeaderSize, dbuf, dbuf.Size())
+	comp.Event().OnTrigger(func(v interface{}) {
+		res := v.(core.Result)
+		if res.Err != nil {
+			s.postAckDesc(inst, qp, hbuf, dbuf)
+			return
+		}
+		h, err := blockstore.Decode(hbuf.Bytes())
+		if err != nil {
+			s.postAckDesc(inst, qp, hbuf, dbuf)
+			return
+		}
+		switch h.Op {
+		case blockstore.OpReplicateReply:
+			s.completePending(h.ReqID, h.Status, nil, 0, h)
+			s.postAckDesc(inst, qp, hbuf, dbuf)
+		case blockstore.OpFetchReply:
+			var payload []byte
+			if res.Placed > 0 {
+				payload = dbuf.Bytes()[:res.Placed]
+			}
+			if pr, ok := s.pending[h.ReqID]; ok {
+				pr.release = func() { s.postAckDesc(inst, qp, hbuf, dbuf) }
+				s.completePending(h.ReqID, h.Status, payload, float64(res.Size), h)
+			} else {
+				// Stale fetch reply: repost immediately.
+				s.postAckDesc(inst, qp, hbuf, dbuf)
+			}
+		default:
+			s.postAckDesc(inst, qp, hbuf, dbuf)
+		}
+	})
+}

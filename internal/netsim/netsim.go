@@ -1,0 +1,211 @@
+// Package netsim models the datacenter fabric connecting compute
+// servers, the middle-tier server, and storage servers: full-duplex
+// ports with processor-shared bandwidth, wire/switch latency, framing
+// overhead per packet, and an optional loss injector for transport
+// testing.
+//
+// The fabric is message-granular: each message charges the sender's TX
+// link and the receiver's RX link concurrently (flow-level fluid
+// approximation) and arrives one wire latency after serialization.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// Addr identifies a port on the fabric.
+type Addr string
+
+// Message is one fabric-level datagram. Payload is opaque to the
+// fabric; the transport layer above defines it.
+type Message struct {
+	Src, Dst  Addr
+	WireBytes float64
+	Payload   interface{}
+}
+
+// Config sets fabric-wide parameters.
+type Config struct {
+	// WireLatency is propagation + switching delay, one way.
+	WireLatency float64
+	// MTU is the maximum payload carried per packet.
+	MTU float64
+	// PerPktOverhead is framing overhead per packet (Ethernet + IP +
+	// UDP + RoCE BTH + ICRC + preamble/IFG).
+	PerPktOverhead float64
+}
+
+// DefaultConfig returns datacenter-typical parameters (the paper's
+// testbed uses 100 GbE RoCE with ~2 µs fabric RTT contribution).
+func DefaultConfig() Config {
+	return Config{
+		WireLatency:    1e-6,
+		MTU:            4096,
+		PerPktOverhead: 80,
+	}
+}
+
+// Fabric is the switch plus cabling. It is non-blocking internally:
+// only port links constrain bandwidth.
+type Fabric struct {
+	env   *sim.Env
+	cfg   Config
+	ports map[Addr]*Port
+	// DropFn, when set, is consulted per message; returning true drops
+	// the message after TX serialization (loss injection for transport
+	// tests). Nil means a lossless fabric.
+	dropFn func(*Message) bool
+	// pairs resequences deliveries per (src, dst): a wire path is FIFO,
+	// but the fluid bandwidth model can let a small message's transfer
+	// finish before an earlier large one — physically impossible on one
+	// path — so completed transfers are released in send order.
+	pairs map[pairKey]*pairState
+}
+
+type pairKey struct{ src, dst Addr }
+
+type pairState struct {
+	nextSend    uint64
+	nextDeliver uint64
+	ready       map[uint64]*Message
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric(env *sim.Env, cfg Config) *Fabric {
+	def := DefaultConfig()
+	if cfg.WireLatency <= 0 {
+		cfg.WireLatency = def.WireLatency
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = def.MTU
+	}
+	if cfg.PerPktOverhead < 0 {
+		cfg.PerPktOverhead = def.PerPktOverhead
+	}
+	return &Fabric{env: env, cfg: cfg, ports: make(map[Addr]*Port), pairs: make(map[pairKey]*pairState)}
+}
+
+// Config returns the effective configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// SetLossFn installs a message-drop predicate (nil restores lossless).
+func (f *Fabric) SetLossFn(fn func(*Message) bool) { f.dropFn = fn }
+
+// WireSize returns the on-wire bytes for a payload of n bytes,
+// accounting for per-packet framing at the fabric MTU.
+func (f *Fabric) WireSize(n float64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	pkts := math.Ceil(n / f.cfg.MTU)
+	if pkts < 1 {
+		pkts = 1
+	}
+	return n + pkts*f.cfg.PerPktOverhead
+}
+
+// Port is one network interface attached to the fabric.
+type Port struct {
+	fabric  *Fabric
+	addr    Addr
+	tx, rx  *sim.PSLink
+	handler func(*Message)
+}
+
+// NewPort attaches a port with the given per-direction rate in
+// bytes/second. Addresses must be unique.
+func (f *Fabric) NewPort(addr Addr, bytesPerSec float64) *Port {
+	if _, dup := f.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate port address %q", addr))
+	}
+	p := &Port{
+		fabric: f,
+		addr:   addr,
+		tx:     f.env.NewPSLink(string(addr)+".tx", bytesPerSec, 0),
+		rx:     f.env.NewPSLink(string(addr)+".rx", bytesPerSec, 0),
+	}
+	f.ports[addr] = p
+	return p
+}
+
+// Addr returns the port's fabric address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Fabric returns the fabric the port is attached to.
+func (p *Port) Fabric() *Fabric { return p.fabric }
+
+// SetHandler installs the receive callback. Messages arriving before a
+// handler is installed are dropped (as real NICs drop to unbound
+// queues).
+func (p *Port) SetHandler(fn func(*Message)) { p.handler = fn }
+
+// TxStats and RxStats expose the underlying link counters for
+// bandwidth reporting.
+func (p *Port) TxStats() sim.LinkStats { return p.tx.Snapshot() }
+func (p *Port) RxStats() sim.LinkStats { return p.rx.Snapshot() }
+
+// Rate returns the port's per-direction capacity in bytes/second.
+func (p *Port) Rate() float64 { return p.tx.Rate() }
+
+// Send serializes the message out of this port. The returned event
+// fires when the last byte leaves the sender (TX complete); delivery to
+// the destination handler happens one wire latency after both TX and
+// the receiver's RX serialization complete. Unknown destinations and
+// loss-injected messages silently vanish after TX, exactly like a real
+// fabric.
+func (p *Port) Send(m *Message) *sim.Event {
+	env := p.fabric.env
+	if m.Src == "" {
+		m.Src = p.addr
+	}
+	if m.WireBytes < 0 {
+		m.WireBytes = 0
+	}
+	sent := p.tx.Start(m.WireBytes)
+
+	dst, ok := p.fabric.ports[m.Dst]
+	if !ok || (p.fabric.dropFn != nil && p.fabric.dropFn(m)) {
+		return sent
+	}
+	key := pairKey{src: m.Src, dst: m.Dst}
+	st := p.fabric.pairs[key]
+	if st == nil {
+		st = &pairState{ready: make(map[uint64]*Message)}
+		p.fabric.pairs[key] = st
+	}
+	seq := st.nextSend
+	st.nextSend++
+
+	rxDone := dst.rx.Start(m.WireBytes)
+	both := env.NewEvent()
+	remaining := 2
+	dec := func(interface{}) {
+		remaining--
+		if remaining == 0 {
+			both.Trigger(nil)
+		}
+	}
+	sent.OnTrigger(dec)
+	rxDone.OnTrigger(dec)
+	both.OnTrigger(func(interface{}) {
+		env.After(p.fabric.cfg.WireLatency, func() {
+			st.ready[seq] = m
+			// Release every in-order message that has arrived.
+			for {
+				next, ok := st.ready[st.nextDeliver]
+				if !ok {
+					break
+				}
+				delete(st.ready, st.nextDeliver)
+				st.nextDeliver++
+				if dst.handler != nil {
+					dst.handler(next)
+				}
+			}
+		})
+	})
+	return sent
+}

@@ -1,0 +1,9 @@
+package rdma
+
+// Debug, when non-nil, receives transport-level events ("data" for
+// arrivals, "ack" for cumulative acknowledgements, "timeout" for
+// retransmission timeouts) with the QP they happened on and the
+// sequence number involved. It exists for tests and interactive
+// debugging of transport behaviour (e.g. spotting go-back-N churn);
+// production paths leave it nil, which costs one predictable branch.
+var Debug func(event string, qp QPID, seq uint64)

@@ -1,0 +1,332 @@
+// Package rdma implements a RoCE-like reliable message transport on
+// top of the netsim fabric: queue pairs, SEND verbs with completion
+// events, cumulative ACKs, and go-back-N retransmission.
+//
+// SmartDS extends an FPGA RoCE stack (StRoM-derived) with its split/
+// assemble modules; this package is the unmodified transport those
+// modules plug into. Reliability is modeled at message granularity —
+// one simulated "message" is one RDMA message of up to several MB, with
+// per-packet framing charged via netsim.Fabric.WireSize — which keeps
+// event counts tractable while preserving ordering, loss recovery, and
+// flow behavior.
+package rdma
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// QPID names a queue pair globally: fabric address plus QP number.
+type QPID struct {
+	Addr netsim.Addr
+	QPN  int
+}
+
+func (id QPID) String() string { return fmt.Sprintf("%s/qp%d", id.Addr, id.QPN) }
+
+// Config sets transport parameters.
+type Config struct {
+	// AckBytes is the wire size of an ACK.
+	AckBytes float64
+	// RetransmitTimeout is how long the sender waits for an ACK before
+	// resending all unacknowledged messages.
+	RetransmitTimeout float64
+	// MaxRetries bounds retransmission attempts before the send
+	// completes with an error.
+	MaxRetries int
+	// HeaderBytes is the transport header charged per message on the
+	// wire in addition to payload framing.
+	HeaderBytes float64
+}
+
+// DefaultConfig returns datacenter RoCE-ish parameters.
+func DefaultConfig() Config {
+	return Config{
+		AckBytes:          64,
+		RetransmitTimeout: 500e-6,
+		MaxRetries:        8,
+		HeaderBytes:       32,
+	}
+}
+
+// Message is a delivered RDMA message.
+type Message struct {
+	From QPID
+	Seq  uint64
+	Data []byte  // real payload bytes
+	Size float64 // modeled payload size (== len(Data) when Data != nil)
+}
+
+// ErrRetriesExhausted reports a send that could not be delivered.
+var ErrRetriesExhausted = fmt.Errorf("rdma: retries exhausted")
+
+// Stack is one RoCE instance bound to a fabric port.
+type Stack struct {
+	env  *sim.Env
+	port *netsim.Port
+	cfg  Config
+	qps  map[int]*QP
+	next int
+}
+
+// packet is the on-fabric representation.
+type packet struct {
+	kind   byte // 'D' data, 'A' ack
+	src    QPID
+	dstQPN int
+	seq    uint64 // data: message seq; ack: cumulative next-expected
+	data   []byte
+	size   float64
+}
+
+// NewStack binds a transport instance to a port. The stack takes over
+// the port's receive handler.
+func NewStack(env *sim.Env, port *netsim.Port, cfg Config) *Stack {
+	def := DefaultConfig()
+	if cfg.AckBytes <= 0 {
+		cfg.AckBytes = def.AckBytes
+	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = def.RetransmitTimeout
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = def.MaxRetries
+	}
+	if cfg.HeaderBytes < 0 {
+		cfg.HeaderBytes = def.HeaderBytes
+	}
+	s := &Stack{env: env, port: port, cfg: cfg, qps: make(map[int]*QP), next: 1}
+	port.SetHandler(s.receive)
+	return s
+}
+
+// Port returns the underlying fabric port.
+func (s *Stack) Port() *netsim.Port { return s.port }
+
+// Addr returns the stack's fabric address.
+func (s *Stack) Addr() netsim.Addr { return s.port.Addr() }
+
+// QP is one side of a reliable connection.
+type QP struct {
+	stack  *Stack
+	qpn    int
+	remote QPID
+
+	sendSeq  uint64 // next sequence to assign
+	recvNext uint64 // next expected incoming sequence
+
+	unacked []*pendingSend
+
+	// OnRecv receives in-order messages. The upper layer (an AAMS
+	// instance, a storage server loop) installs it; nil drops.
+	OnRecv func(*Message)
+}
+
+type pendingSend struct {
+	seq      uint64
+	data     []byte
+	size     float64
+	retries  int
+	done     *sim.Event
+	timer    *sim.Timer
+	resolved bool // acked or failed
+}
+
+func (ps *pendingSend) cancelTimer() {
+	if ps.timer != nil {
+		ps.timer.Cancel()
+		ps.timer = nil
+	}
+}
+
+// CreateQP allocates an unconnected QP.
+func (s *Stack) CreateQP() *QP {
+	qp := &QP{stack: s, qpn: s.next}
+	s.qps[s.next] = qp
+	s.next++
+	return qp
+}
+
+// ID returns the QP's global identity.
+func (qp *QP) ID() QPID { return QPID{Addr: qp.stack.Addr(), QPN: qp.qpn} }
+
+// Remote returns the connected peer's identity.
+func (qp *QP) Remote() QPID { return qp.remote }
+
+// Connect pairs two QPs (the out-of-band connection setup real RDMA
+// does through a CM exchange).
+func Connect(a, b *QP) {
+	a.remote = b.ID()
+	b.remote = a.ID()
+}
+
+// Send posts a reliable message carrying real data bytes. The returned
+// event fires with nil on ACK or an error after retry exhaustion.
+func (qp *QP) Send(data []byte) *sim.Event {
+	return qp.send(data, float64(len(data)))
+}
+
+// SendSized posts a message with an explicit modeled size and optional
+// real bytes (for experiments that move modeled-only traffic).
+func (qp *QP) SendSized(data []byte, size float64) *sim.Event {
+	return qp.send(data, size)
+}
+
+func (qp *QP) send(data []byte, size float64) *sim.Event {
+	if qp.remote.Addr == "" {
+		panic("rdma: Send on unconnected QP " + qp.ID().String())
+	}
+	done := qp.stack.env.NewEvent()
+	ps := &pendingSend{seq: qp.sendSeq, data: data, size: size, done: done}
+	qp.sendSeq++
+	qp.unacked = append(qp.unacked, ps)
+	qp.transmit(ps)
+	return done
+}
+
+// transmit puts one message on the fabric. The retransmission timer is
+// armed only once serialization completes — the NIC cannot time out a
+// message that has not finished leaving the port yet.
+func (qp *QP) transmit(ps *pendingSend) {
+	s := qp.stack
+	ps.cancelTimer()
+	wire := s.port.Send(&netsim.Message{
+		Dst:       qp.remote.Addr,
+		WireBytes: fabricSize(s, ps.size),
+		Payload: &packet{
+			kind:   'D',
+			src:    qp.ID(),
+			dstQPN: qp.remote.QPN,
+			seq:    ps.seq,
+			data:   ps.data,
+			size:   ps.size,
+		},
+	})
+	wire.OnTrigger(func(interface{}) {
+		if ps.resolved {
+			return
+		}
+		ps.timer = s.env.After(s.cfg.RetransmitTimeout, func() { qp.onTimeout(ps) })
+	})
+}
+
+// fabricSize converts a payload size into on-wire bytes: transport
+// header plus per-packet framing.
+func fabricSize(s *Stack, payload float64) float64 {
+	return s.port.Fabric().WireSize(payload + s.cfg.HeaderBytes)
+}
+
+// onTimeout handles a retransmission timeout for one message: go-back-N
+// resends it and every later unacked message.
+func (qp *QP) onTimeout(timed *pendingSend) {
+	if Debug != nil {
+		Debug("timeout", qp.ID(), timed.seq)
+	}
+	timed.timer = nil
+	if timed.resolved {
+		return
+	}
+	idx := -1
+	for i, ps := range qp.unacked {
+		if ps == timed {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	kept := qp.unacked[:idx]
+	var failed []*pendingSend
+	for _, ps := range qp.unacked[idx:] {
+		ps.retries++
+		if ps.retries > qp.stack.cfg.MaxRetries {
+			ps.resolved = true
+			ps.cancelTimer()
+			failed = append(failed, ps)
+			continue
+		}
+		qp.transmit(ps)
+		kept = append(kept, ps)
+	}
+	qp.unacked = kept
+	for _, ps := range failed {
+		ps.done.Trigger(ErrRetriesExhausted)
+	}
+}
+
+// receive dispatches fabric messages to QPs.
+func (s *Stack) receive(m *netsim.Message) {
+	pkt, ok := m.Payload.(*packet)
+	if !ok {
+		return // foreign traffic
+	}
+	qp, ok := s.qps[pkt.dstQPN]
+	if !ok {
+		return
+	}
+	switch pkt.kind {
+	case 'D':
+		qp.onData(pkt)
+	case 'A':
+		qp.onAck(pkt.seq)
+	}
+}
+
+// onData handles an incoming data message: deliver in order, drop
+// out-of-order (go-back-N), always re-ack cumulatively.
+func (qp *QP) onData(pkt *packet) {
+	if Debug != nil {
+		Debug("data", qp.ID(), pkt.seq)
+	}
+	if pkt.seq == qp.recvNext {
+		qp.recvNext++
+		if qp.OnRecv != nil {
+			qp.OnRecv(&Message{From: pkt.src, Seq: pkt.seq, Data: pkt.data, Size: pkt.size})
+		}
+	}
+	// Cumulative ACK for everything below recvNext (covers duplicates
+	// and triggers fast resync after gaps).
+	qp.sendAck()
+}
+
+func (qp *QP) sendAck() {
+	s := qp.stack
+	s.port.Send(&netsim.Message{
+		Dst:       qp.remote.Addr,
+		WireBytes: s.cfg.AckBytes,
+		Payload: &packet{
+			kind:   'A',
+			src:    qp.ID(),
+			dstQPN: qp.remote.QPN,
+			seq:    qp.recvNext,
+		},
+	})
+}
+
+// onAck completes every pending send below the cumulative mark.
+func (qp *QP) onAck(next uint64) {
+	if Debug != nil {
+		Debug("ack", qp.ID(), next)
+	}
+	kept := qp.unacked[:0]
+	var completed []*pendingSend
+	for _, ps := range qp.unacked {
+		if ps.seq < next {
+			ps.resolved = true
+			ps.cancelTimer()
+			completed = append(completed, ps)
+		} else {
+			kept = append(kept, ps)
+		}
+	}
+	qp.unacked = kept
+	for _, ps := range completed {
+		ps.done.Trigger(nil)
+	}
+}
+
+// Unacked reports the sender's outstanding message count (for tests).
+func (qp *QP) Unacked() int { return len(qp.unacked) }

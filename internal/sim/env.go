@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in seconds.
+type Time = float64
+
+// item is a calendar entry. Entries with equal time fire in insertion
+// order (seq), which keeps runs deterministic.
+type item struct {
+	t         Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+type calendar []*item
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].t != c[j].t {
+		return c[i].t < c[j].t
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x interface{}) { *c = append(*c, x.(*item)) }
+func (c *calendar) Pop() interface{} {
+	old := *c
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*c = old[:n-1]
+	return it
+}
+
+// Env is the simulation environment: a virtual clock plus an event
+// calendar. The zero value is not usable; construct with NewEnv.
+type Env struct {
+	now    Time
+	cal    calendar
+	seq    uint64
+	parked chan struct{}
+	nprocs int
+}
+
+// NewEnv returns an empty environment at time zero.
+func NewEnv() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() Time { return e.now }
+
+// schedule posts fn to run at time t. It returns the calendar entry so
+// callers can cancel it.
+func (e *Env) schedule(t Time, fn func()) *item {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: %g < %g", t, e.now))
+	}
+	e.seq++
+	it := &item{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.cal, it)
+	return it
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	it *item
+}
+
+// After schedules fn to run after d seconds of virtual time and returns
+// a cancellable Timer.
+func (e *Env) After(d float64, fn func()) *Timer {
+	return &Timer{it: e.schedule(e.now+d, fn)}
+}
+
+// At schedules fn at absolute virtual time t.
+func (e *Env) At(t Time, fn func()) *Timer {
+	return &Timer{it: e.schedule(t, fn)}
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.it != nil {
+		t.it.cancelled = true
+	}
+}
+
+// Run processes events until the calendar is empty or the clock would
+// pass `until` (0 means run until idle). It returns the final time.
+func (e *Env) Run(until Time) Time {
+	for e.cal.Len() > 0 {
+		it := heap.Pop(&e.cal).(*item)
+		if it.cancelled {
+			continue
+		}
+		if until > 0 && it.t > until {
+			// Put it back and stop at the horizon.
+			heap.Push(&e.cal, it)
+			e.now = until
+			return e.now
+		}
+		e.now = it.t
+		e.dispatch(it.fn)
+	}
+	if until > 0 && e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// Step processes a single calendar entry, returning false when the
+// calendar is empty.
+func (e *Env) Step() bool {
+	for e.cal.Len() > 0 {
+		it := heap.Pop(&e.cal).(*item)
+		if it.cancelled {
+			continue
+		}
+		e.now = it.t
+		e.dispatch(it.fn)
+		return true
+	}
+	return false
+}
+
+// Pending reports the number of live calendar entries.
+func (e *Env) Pending() int {
+	n := 0
+	for _, it := range e.cal {
+		if !it.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// dispatch runs one event callback in scheduler context.
+func (e *Env) dispatch(fn func()) { fn() }

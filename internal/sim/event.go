@@ -1,0 +1,109 @@
+package sim
+
+// Event is a one-shot completion. Processes block on it with Wait;
+// anything (another process, a scheduler callback, a resource) completes
+// it with Trigger, optionally attaching a value. Waiting on an event
+// that already fired returns immediately.
+type Event struct {
+	env     *Env
+	done    bool
+	val     interface{}
+	waiters []wakeToken
+	cbs     []func(interface{})
+}
+
+// NewEvent returns an untriggered event bound to the environment.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Done reports whether the event has been triggered.
+func (ev *Event) Done() bool { return ev.done }
+
+// Value returns the value the event was triggered with (nil before).
+func (ev *Event) Value() interface{} { return ev.val }
+
+// Trigger completes the event, waking all waiters and running all
+// registered callbacks. Triggering twice panics: an event is one-shot
+// and double completion always indicates a bookkeeping bug upstream.
+func (ev *Event) Trigger(val interface{}) {
+	if ev.done {
+		panic("sim: event triggered twice")
+	}
+	ev.done = true
+	ev.val = val
+	for _, tk := range ev.waiters {
+		ev.env.wake(tk)
+	}
+	ev.waiters = nil
+	for _, cb := range ev.cbs {
+		cb(val)
+	}
+	ev.cbs = nil
+}
+
+// OnTrigger registers a callback to run (in scheduler context) when the
+// event fires. If the event already fired, cb runs immediately.
+func (ev *Event) OnTrigger(cb func(interface{})) {
+	if ev.done {
+		cb(ev.val)
+		return
+	}
+	ev.cbs = append(ev.cbs, cb)
+}
+
+// Wait blocks the process until the event fires and returns its value.
+func (p *Proc) Wait(ev *Event) interface{} {
+	if ev.done {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p.token())
+	p.park()
+	return ev.val
+}
+
+// WaitTimeout blocks until the event fires or d seconds elapse. It
+// returns the event value and true on completion, or nil and false on
+// timeout (the event remains waitable).
+func (p *Proc) WaitTimeout(ev *Event, d float64) (interface{}, bool) {
+	if ev.done {
+		return ev.val, true
+	}
+	tk := p.token()
+	ev.waiters = append(ev.waiters, tk)
+	timer := p.env.After(d, func() { p.env.wake(tk) })
+	p.park()
+	timer.Cancel()
+	if ev.done {
+		return ev.val, true
+	}
+	// Timed out: drop our stale token so a later Trigger doesn't try to
+	// wake a generation we've moved past (harmless but wasteful).
+	for i, w := range ev.waiters {
+		if w == tk {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			break
+		}
+	}
+	return nil, false
+}
+
+// WaitAll blocks until every event has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// AnyOf returns an event that fires as soon as any input event fires,
+// carrying the index of the first one.
+func (e *Env) AnyOf(evs ...*Event) *Event {
+	out := e.NewEvent()
+	for i, ev := range evs {
+		i := i
+		ev.OnTrigger(func(interface{}) {
+			if !out.done {
+				out.Trigger(i)
+			}
+		})
+	}
+	return out
+}

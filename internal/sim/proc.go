@@ -1,0 +1,96 @@
+package sim
+
+// Proc is a simulation process: a goroutine that runs only while the
+// scheduler has handed control to it. A Proc may block with Sleep, Wait,
+// or any of the resource operations; at most one Proc runs at a time.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	gen    uint64 // wait generation; bumped on every park
+	done   bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a new process. The body fn starts running at the current
+// virtual time (after the caller yields back to the scheduler). Go may
+// be called before Env.Run, from scheduler callbacks, or from within
+// another process.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		e.nprocs--
+		e.parked <- struct{}{}
+	}()
+	e.schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc transfers control to p until it parks or finishes.
+func (e *Env) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// park yields control back to the scheduler until woken. Each park
+// consumes exactly one wake directed at the current generation.
+func (p *Proc) park() {
+	p.gen++
+	p.env.parked <- struct{}{}
+	<-p.resume
+}
+
+// wakeToken identifies one specific park of one specific process, so a
+// stale waker (e.g. a raced timeout) cannot wake the wrong park.
+type wakeToken struct {
+	p   *Proc
+	gen uint64
+}
+
+// token captures the identity of the process's next park. It must be
+// taken before handing the token to a waker and before calling park.
+func (p *Proc) token() wakeToken { return wakeToken{p: p, gen: p.gen + 1} }
+
+// wake schedules the process to resume now if it is still parked on the
+// generation the token was taken for.
+func (e *Env) wake(tk wakeToken) {
+	e.schedule(e.now, func() {
+		if !tk.p.done && tk.p.gen == tk.gen {
+			e.runProc(tk.p)
+		}
+	})
+}
+
+// Sleep suspends the process for d seconds of virtual time. Negative
+// durations sleep zero time but still yield to the scheduler.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	tk := p.token()
+	p.env.schedule(p.env.now+d, func() {
+		if !tk.p.done && tk.p.gen == tk.gen {
+			p.env.runProc(tk.p)
+		}
+	})
+	p.park()
+}
+
+// Yield lets other ready processes and events at the current instant run
+// before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,213 @@
+package sim
+
+import "math"
+
+// PSLink models a bandwidth resource under processor sharing: the rate
+// is divided among all in-flight transfers in proportion to their
+// weights, optionally capped per flow. This is the standard fluid model
+// for a shared bus, PCIe link, memory channel group, or network port.
+type PSLink struct {
+	env     *Env
+	name    string
+	rate    float64 // bytes/second aggregate capacity
+	flowCap float64 // max bytes/second any single flow may get; 0 = unlimited
+
+	jobs      []*psJob // insertion order; completions fire oldest-first
+	weightSum float64
+	last      Time
+	timer     *Timer
+
+	// accounting
+	work      float64 // total bytes moved (including partial progress)
+	busy      float64 // total seconds with >=1 active job
+	busySince Time
+}
+
+type psJob struct {
+	remaining float64
+	weight    float64
+	ev        *Event
+}
+
+// NewPSLink creates a processor-sharing link with the given aggregate
+// rate in bytes/second. flowCap limits the rate of any single transfer
+// (0 disables the cap).
+func (e *Env) NewPSLink(name string, rate, flowCap float64) *PSLink {
+	if rate <= 0 {
+		panic("sim: PSLink rate must be positive")
+	}
+	return &PSLink{
+		env:     e,
+		name:    name,
+		rate:    rate,
+		flowCap: flowCap,
+		last:    e.now,
+	}
+}
+
+// Name returns the link name.
+func (l *PSLink) Name() string { return l.name }
+
+// Rate returns the aggregate capacity in bytes/second.
+func (l *PSLink) Rate() float64 { return l.rate }
+
+// InFlight returns the number of active transfers.
+func (l *PSLink) InFlight() int { return len(l.jobs) }
+
+// perJobRate returns the current rate of a job with the given weight.
+func (l *PSLink) perJobRate(weight float64) float64 {
+	if l.weightSum <= 0 {
+		return 0
+	}
+	r := l.rate * weight / l.weightSum
+	if l.flowCap > 0 && r > l.flowCap {
+		r = l.flowCap
+	}
+	return r
+}
+
+// advance applies progress to all jobs for the time since last update.
+func (l *PSLink) advance() {
+	now := l.env.now
+	dt := now - l.last
+	l.last = now
+	if dt <= 0 || len(l.jobs) == 0 {
+		return
+	}
+	for _, j := range l.jobs {
+		prog := dt * l.perJobRate(j.weight)
+		if prog > j.remaining {
+			prog = j.remaining
+		}
+		j.remaining -= prog
+		l.work += prog
+	}
+}
+
+// reschedule cancels any pending completion check and schedules the next
+// one at the earliest projected job completion.
+func (l *PSLink) reschedule() {
+	if l.timer != nil {
+		l.timer.Cancel()
+		l.timer = nil
+	}
+	if len(l.jobs) == 0 {
+		return
+	}
+	next := math.Inf(1)
+	for _, j := range l.jobs {
+		r := l.perJobRate(j.weight)
+		if r <= 0 {
+			continue
+		}
+		t := j.remaining / r
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	l.timer = l.env.After(next, l.complete)
+}
+
+// complete fires at a projected completion instant: it advances all
+// jobs, finishes the ones that are done, and reschedules.
+func (l *PSLink) complete() {
+	l.timer = nil
+	l.advance()
+	const eps = 1e-6 // bytes; transfers are whole bytes, fluid-modeled
+	now := l.env.now
+	var finished []*psJob
+	kept := l.jobs[:0]
+	for _, j := range l.jobs {
+		done := j.remaining <= eps
+		if !done {
+			// Guard against float livelock: if the projected completion
+			// time is not representable past `now`, the leftover work is
+			// below the clock's resolution — finish it immediately.
+			if r := l.perJobRate(j.weight); r > 0 && now+j.remaining/r <= now {
+				done = true
+			}
+		}
+		if done {
+			finished = append(finished, j)
+			l.weightSum -= j.weight
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	l.jobs = kept
+	if len(l.jobs) == 0 {
+		l.weightSum = 0 // kill accumulated float error
+		l.busy += l.env.now - l.busySince
+	}
+	l.reschedule()
+	for _, j := range finished {
+		j.ev.Trigger(nil)
+	}
+}
+
+// StartWeighted begins a transfer of the given size and weight without
+// blocking; the returned event fires on completion.
+func (l *PSLink) StartWeighted(bytes, weight float64) *Event {
+	ev := l.env.NewEvent()
+	if bytes <= 0 {
+		ev.Trigger(nil)
+		return ev
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	l.advance()
+	if len(l.jobs) == 0 {
+		l.busySince = l.env.now
+	}
+	j := &psJob{remaining: bytes, weight: weight, ev: ev}
+	l.jobs = append(l.jobs, j)
+	l.weightSum += weight
+	l.reschedule()
+	return ev
+}
+
+// Start begins a unit-weight transfer without blocking.
+func (l *PSLink) Start(bytes float64) *Event { return l.StartWeighted(bytes, 1) }
+
+// Transfer moves bytes across the link, blocking the process until the
+// transfer completes under processor sharing.
+func (l *PSLink) Transfer(p *Proc, bytes float64) {
+	p.Wait(l.Start(bytes))
+}
+
+// TransferWeighted moves bytes with a given PS weight.
+func (l *PSLink) TransferWeighted(p *Proc, bytes, weight float64) {
+	p.Wait(l.StartWeighted(bytes, weight))
+}
+
+// Stats is a snapshot of the link's activity counters.
+type LinkStats struct {
+	Work     float64 // bytes moved so far (fluid progress)
+	BusyTime float64 // seconds with at least one active transfer
+	At       Time    // snapshot time
+}
+
+// Snapshot returns cumulative counters at the current instant. Callers
+// diff two snapshots to compute bandwidth over a window.
+func (l *PSLink) Snapshot() LinkStats {
+	l.advance()
+	busy := l.busy
+	if len(l.jobs) > 0 {
+		busy += l.env.now - l.busySince
+	}
+	return LinkStats{Work: l.work, BusyTime: busy, At: l.env.now}
+}
+
+// BandwidthBetween returns the average bytes/second moved between two
+// snapshots.
+func BandwidthBetween(a, b LinkStats) float64 {
+	dt := b.At - a.At
+	if dt <= 0 {
+		return 0
+	}
+	return (b.Work - a.Work) / dt
+}

@@ -1,0 +1,109 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox between processes. Put never
+// blocks; Get blocks while the queue is empty. Waiters are served in
+// arrival order.
+type Queue struct {
+	env     *Env
+	name    string
+	items   []interface{}
+	waiters []*Event
+
+	puts uint64
+	gets uint64
+	// queue-length integral for mean-occupancy reporting
+	lenInt float64
+	last   Time
+}
+
+// NewQueue creates an empty queue.
+func (e *Env) NewQueue(name string) *Queue {
+	return &Queue{env: e, name: name, last: e.now}
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Len returns the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+func (q *Queue) account() {
+	now := q.env.now
+	q.lenInt += float64(len(q.items)) * (now - q.last)
+	q.last = now
+}
+
+// Put appends v and wakes the oldest waiter, if any. Safe to call from
+// scheduler callbacks as well as from processes.
+func (q *Queue) Put(v interface{}) {
+	q.account()
+	q.puts++
+	if len(q.waiters) > 0 {
+		ev := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.gets++
+		ev.Trigger(v)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get removes and returns the oldest item, blocking while empty.
+func (q *Queue) Get(p *Proc) interface{} {
+	q.account()
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.gets++
+		return v
+	}
+	ev := q.env.NewEvent()
+	q.waiters = append(q.waiters, ev)
+	return p.Wait(ev)
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue) TryGet() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	q.account()
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	return v, true
+}
+
+// GetTimeout waits up to d seconds for an item.
+func (q *Queue) GetTimeout(p *Proc, d float64) (interface{}, bool) {
+	q.account()
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.gets++
+		return v, true
+	}
+	ev := q.env.NewEvent()
+	q.waiters = append(q.waiters, ev)
+	v, ok := p.WaitTimeout(ev, d)
+	if !ok {
+		// Remove our waiter so a later Put doesn't deliver into the void.
+		for i, w := range q.waiters {
+			if w == ev {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
+			}
+		}
+		return nil, false
+	}
+	return v, true
+}
+
+// MeanLen returns the time-averaged queue length since creation.
+func (q *Queue) MeanLen() float64 {
+	q.account()
+	if q.env.now <= 0 {
+		return 0
+	}
+	return q.lenInt / q.env.now
+}

@@ -1,0 +1,200 @@
+package sim
+
+import "testing"
+
+func TestResourceBasicAcquireRelease(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	var order []string
+	e.Go("a", func(p *Proc) {
+		r.Acquire(p)
+		order = append(order, "a-in")
+		p.Sleep(2)
+		r.Release()
+		order = append(order, "a-out")
+	})
+	e.Go("b", func(p *Proc) {
+		r.Acquire(p)
+		order = append(order, "b-in")
+		p.Sleep(1)
+		r.Release()
+	})
+	e.Run(0)
+	want := []string{"a-in", "a-out", "b-in"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want prefix %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final time = %g, want 3", e.Now())
+	}
+}
+
+func TestResourceMultipleSlots(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 2)
+	finish := make([]Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			r.Process(p, 2)
+			finish[i] = p.Now()
+		})
+	}
+	e.Run(0)
+	// Two run [0,2]; third runs [2,4].
+	if finish[0] != 2 || finish[1] != 2 || finish[2] != 4 {
+		t.Fatalf("finish times = %v", finish)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	var got []int
+	e.Go("holder", func(p *Proc) { r.Process(p, 1) })
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(float64(i) * 0.01)
+			r.Acquire(p)
+			got = append(got, i)
+			r.Release()
+		})
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("acquisition order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire on free resource failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource("r", 2)
+	e.Go("a", func(p *Proc) { r.Process(p, 4) })
+	e.Go("b", func(p *Proc) { r.Process(p, 2) })
+	e.Run(0)
+	s := r.Snapshot()
+	// Slot-seconds: 4 + 2 = 6 over 4 seconds => mean 1.5.
+	if !almostEq(s.BusyIntegral, 6, 1e-9) {
+		t.Fatalf("busy integral = %g, want 6", s.BusyIntegral)
+	}
+	if u := UtilizationBetween(ResourceStats{}, s); !almostEq(u, 1.5, 1e-9) {
+		t.Fatalf("utilization = %g, want 1.5", u)
+	}
+}
+
+func TestQueuePutGet(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []interface{}
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(1)
+			q.Put(i)
+		}
+	})
+	e.Run(0)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueBufferedThenDrained(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	q.Put("a")
+	q.Put("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, ok := q.TryGet()
+	if !ok || v != "a" {
+		t.Fatalf("TryGet = %v, %v", v, ok)
+	}
+	var second interface{}
+	e.Go("c", func(p *Proc) { second = q.Get(p) })
+	e.Run(0)
+	if second != "b" {
+		t.Fatalf("second = %v", second)
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var ok1, ok2 bool
+	var v2 interface{}
+	e.Go("c", func(p *Proc) {
+		_, ok1 = q.GetTimeout(p, 1)
+		v2, ok2 = q.GetTimeout(p, 10)
+	})
+	e.After(2, func() { q.Put("late") })
+	e.Run(0)
+	if ok1 {
+		t.Fatal("first GetTimeout should have timed out")
+	}
+	if !ok2 || v2 != "late" {
+		t.Fatalf("second GetTimeout = %v, %v", v2, ok2)
+	}
+}
+
+func TestQueueMultipleWaitersFIFO(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("c", func(p *Proc) {
+			p.Sleep(float64(i) * 0.001)
+			v := q.Get(p)
+			got = append(got, v.(int)*10+i)
+		})
+	}
+	e.After(1, func() { q.Put(0); q.Put(1); q.Put(2) })
+	e.Run(0)
+	// Waiter i receives item i.
+	want := []int{0, 11, 22}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// DiskConfig models the server's NVMe flash (paper cites PCIe flash
+// with millions of IOPS and tens-of-microseconds latency).
+type DiskConfig struct {
+	WriteLatency float64 // per-IO access latency
+	ReadLatency  float64
+	BytesPerSec  float64 // sustained bandwidth
+	QueueDepth   int     // concurrent commands
+}
+
+// DefaultDisk returns D7-P5520-like parameters.
+func DefaultDisk() DiskConfig {
+	return DiskConfig{
+		WriteLatency: 15e-6,
+		ReadLatency:  65e-6,
+		BytesPerSec:  4e9,
+		QueueDepth:   128,
+	}
+}
+
+// Disk is the device model: a command-slot pool plus a bandwidth link.
+type Disk struct {
+	cfg   DiskConfig
+	slots *sim.Resource
+	bw    *sim.PSLink
+}
+
+// NewDisk creates a disk.
+func NewDisk(env *sim.Env, name string, cfg DiskConfig) *Disk {
+	def := DefaultDisk()
+	if cfg.WriteLatency <= 0 {
+		cfg.WriteLatency = def.WriteLatency
+	}
+	if cfg.ReadLatency <= 0 {
+		cfg.ReadLatency = def.ReadLatency
+	}
+	if cfg.BytesPerSec <= 0 {
+		cfg.BytesPerSec = def.BytesPerSec
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = def.QueueDepth
+	}
+	return &Disk{
+		cfg:   cfg,
+		slots: env.NewResource(name+".dq", cfg.QueueDepth),
+		bw:    env.NewPSLink(name+".dbw", cfg.BytesPerSec, 0),
+	}
+}
+
+// Write charges one write IO of n bytes.
+func (d *Disk) Write(p *sim.Proc, n float64) {
+	d.slots.Acquire(p)
+	p.Sleep(d.cfg.WriteLatency)
+	d.bw.Transfer(p, n)
+	d.slots.Release()
+}
+
+// Read charges one read IO of n bytes.
+func (d *Disk) Read(p *sim.Proc, n float64) {
+	d.slots.Acquire(p)
+	p.Sleep(d.cfg.ReadLatency)
+	d.bw.Transfer(p, n)
+	d.slots.Release()
+}
+
+// Server is one storage server: transport + disk + chunk store. It
+// serves OpReplicate (append a block version, reply success) and
+// OpFetch (return the stored frame).
+type Server struct {
+	env   *sim.Env
+	name  string
+	stack *rdma.Stack
+	disk  *Disk
+	store *ChunkStore
+
+	// Writes and Reads count served requests.
+	Writes, Reads uint64
+	// Verify enables payload CRC checking on replicate (integrity
+	// testing; adds wall-clock cost, not simulated time).
+	Verify bool
+}
+
+// NewServer attaches a storage server to the fabric.
+func NewServer(env *sim.Env, fabric *netsim.Fabric, addr netsim.Addr, portRate float64,
+	transport rdma.Config, disk DiskConfig) *Server {
+	s := &Server{
+		env:   env,
+		name:  string(addr),
+		stack: rdma.NewStack(env, fabric.NewPort(addr, portRate), transport),
+		disk:  NewDisk(env, string(addr), disk),
+		store: NewChunkStore(),
+	}
+	return s
+}
+
+// Stack exposes the transport for connection setup.
+func (s *Server) Stack() *rdma.Stack { return s.stack }
+
+// Store exposes the chunk store (tests, GC service).
+func (s *Server) Store() *ChunkStore { return s.store }
+
+// AcceptQP creates a server-side QP ready to serve requests arriving
+// from one middle-tier connection.
+func (s *Server) AcceptQP() *rdma.QP {
+	qp := s.stack.CreateQP()
+	qp.OnRecv = func(m *rdma.Message) { s.serve(qp, m) }
+	return qp
+}
+
+// serve handles one request message.
+func (s *Server) serve(qp *rdma.QP, m *rdma.Message) {
+	s.env.Go(s.name+".serve", func(p *sim.Proc) {
+		if m.Data == nil {
+			// Modeled-only traffic: charge the disk for the payload and
+			// reply with a bare success header.
+			s.Writes++
+			s.disk.Write(p, m.Size)
+			h := blockstore.Header{Op: blockstore.OpReplicateReply, Status: blockstore.StatusOK}
+			p.Wait(qp.Send(h.Encode()))
+			return
+		}
+		h, err := blockstore.Decode(m.Data)
+		if err != nil {
+			reply := blockstore.Header{Op: blockstore.OpReplicateReply, Status: blockstore.StatusError}
+			p.Wait(qp.Send(reply.Encode()))
+			return
+		}
+		payload := m.Data[blockstore.HeaderSize:]
+		// A header-only message whose header promises a payload is
+		// modeled-size traffic: charge the disk, skip the store.
+		if len(payload) == 0 && h.PayloadLen > 0 && h.Op == blockstore.OpReplicate {
+			s.Writes++
+			s.disk.Write(p, float64(h.PayloadLen))
+			key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
+			s.store.AppendModeled(key, h.PayloadLen, h.Flags)
+			reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: blockstore.StatusOK}
+			p.Wait(qp.Send(reply.Encode()))
+			return
+		}
+		if int(h.PayloadLen) != len(payload) {
+			reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: blockstore.StatusError}
+			p.Wait(qp.Send(reply.Encode()))
+			return
+		}
+		switch h.Op {
+		case blockstore.OpReplicate:
+			s.serveWrite(p, qp, h, payload)
+		case blockstore.OpFetch:
+			s.serveRead(p, qp, h)
+		default:
+			reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: blockstore.StatusError}
+			p.Wait(qp.Send(reply.Encode()))
+		}
+	})
+}
+
+func (s *Server) serveWrite(p *sim.Proc, qp *rdma.QP, h blockstore.Header, payload []byte) {
+	s.Writes++
+	status := blockstore.StatusOK
+	if s.Verify && h.Flags&blockstore.FlagCompressed != 0 {
+		if orig, err := lz4.DecodeFrame(payload); err != nil || lz4.Checksum(orig) != h.CRC {
+			status = blockstore.StatusCorrupt
+		}
+	}
+	if status == blockstore.StatusOK {
+		key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
+		s.disk.Write(p, float64(len(payload)))
+		s.store.AppendFlagged(key, payload, h.Flags)
+	}
+	reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: status}
+	p.Wait(qp.Send(reply.Encode()))
+}
+
+func (s *Server) serveRead(p *sim.Proc, qp *rdma.QP, h blockstore.Header) {
+	s.Reads++
+	key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
+	rec, ok := s.store.Lookup(key)
+	if !ok {
+		reply := blockstore.Header{Op: blockstore.OpFetchReply, ReqID: h.ReqID, Status: blockstore.StatusNotFound}
+		p.Wait(qp.Send(reply.Encode()))
+		return
+	}
+	s.disk.Read(p, float64(rec.SizeHint))
+	reply := blockstore.Header{
+		Op:     blockstore.OpFetchReply,
+		ReqID:  h.ReqID,
+		Status: blockstore.StatusOK,
+		Flags:  rec.Flags,
+	}
+	if rec.Data == nil {
+		// Modeled record: header-only reply with the modeled frame size.
+		reply.PayloadLen = rec.SizeHint
+		p.Wait(qp.SendSized(reply.Encode(), float64(blockstore.HeaderSize)+float64(rec.SizeHint)))
+		return
+	}
+	p.Wait(qp.Send(blockstore.Message(&reply, rec.Data)))
+}

@@ -1,0 +1,152 @@
+// Package trace records simulation events into a bounded ring for
+// debugging and latency breakdowns. A nil *Tracer is valid and records
+// nothing, so call sites need no guards.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one recorded occurrence in virtual time.
+type Event struct {
+	At        float64 // virtual seconds
+	Component string  // e.g. "client0", "mt", "ss2"
+	Name      string  // e.g. "issue", "compress-done"
+	Detail    string
+}
+
+// Tracer is a bounded ring of events.
+type Tracer struct {
+	cap     int
+	events  []Event
+	next    int
+	wrapped bool
+	dropped uint64
+
+	open map[spanKey]float64
+	durs map[string][]float64
+}
+
+type spanKey struct {
+	component, name string
+	id              uint64
+}
+
+// New creates a tracer holding up to capacity events (older events are
+// overwritten once full).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{
+		cap:    capacity,
+		events: make([]Event, 0, capacity),
+		open:   make(map[spanKey]float64),
+		durs:   make(map[string][]float64),
+	}
+}
+
+// Emit records one event. Nil tracers drop silently.
+func (t *Tracer) Emit(at float64, component, name, detail string) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: at, Component: component, Name: name, Detail: detail}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.next] = ev
+	t.next = (t.next + 1) % t.cap
+	t.wrapped = true
+	t.dropped++
+}
+
+// Begin opens a span identified by (component, name, id).
+func (t *Tracer) Begin(at float64, component, name string, id uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(at, component, name+":begin", fmt.Sprintf("id=%d", id))
+	t.open[spanKey{component, name, id}] = at
+}
+
+// End closes a span and records its duration under component/name.
+func (t *Tracer) End(at float64, component, name string, id uint64) {
+	if t == nil {
+		return
+	}
+	key := spanKey{component, name, id}
+	start, ok := t.open[key]
+	if !ok {
+		t.Emit(at, component, name+":end-unmatched", fmt.Sprintf("id=%d", id))
+		return
+	}
+	delete(t.open, key)
+	t.Emit(at, component, name+":end", fmt.Sprintf("id=%d dur=%.3gus", id, (at-start)*1e6))
+	label := component + "/" + name
+	t.durs[label] = append(t.durs[label], at-start)
+}
+
+// Events returns the recorded events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		return append([]Event(nil), t.events...)
+	}
+	out := make([]Event, 0, t.cap)
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// SpanStats summarizes one span label.
+type SpanStats struct {
+	Label string
+	Count int
+	Mean  float64
+	Max   float64
+}
+
+// Spans returns per-label duration summaries, sorted by label.
+func (t *Tracer) Spans() []SpanStats {
+	if t == nil {
+		return nil
+	}
+	out := make([]SpanStats, 0, len(t.durs))
+	for label, ds := range t.durs {
+		s := SpanStats{Label: label, Count: len(ds)}
+		for _, d := range ds {
+			s.Mean += d
+			if d > s.Max {
+				s.Max = d
+			}
+		}
+		s.Mean /= float64(len(ds))
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Dump writes the event log in chronological order.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, ev := range t.Events() {
+		fmt.Fprintf(w, "%12.6fms %-12s %-24s %s\n", ev.At*1e3, ev.Component, ev.Name, ev.Detail)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", d)
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, "c", "n", "")
+	tr.Begin(1, "c", "n", 1)
+	tr.End(2, "c", "n", 1)
+	if tr.Events() != nil || tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	tr := New(16)
+	tr.Emit(0.001, "a", "x", "one")
+	tr.Emit(0.002, "b", "y", "two")
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Detail != "one" || evs[1].Detail != "two" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(float64(i), "c", "n", "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events", len(evs))
+	}
+	// Oldest kept is event 6, newest 9, in order.
+	for i, ev := range evs {
+		if ev.At != float64(6+i) {
+			t.Fatalf("wrapped order broken: %+v", evs)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestSpans(t *testing.T) {
+	tr := New(64)
+	tr.Begin(1.0, "mt", "write", 1)
+	tr.Begin(1.5, "mt", "write", 2)
+	tr.End(2.0, "mt", "write", 1)  // 1.0s
+	tr.End(2.0, "mt", "write", 2)  // 0.5s
+	tr.End(9.9, "mt", "write", 99) // unmatched
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	s := spans[0]
+	if s.Label != "mt/write" || s.Count != 2 {
+		t.Fatalf("span = %+v", s)
+	}
+	if math.Abs(s.Mean-0.75) > 1e-12 || s.Max != 1.0 {
+		t.Fatalf("span stats = %+v", s)
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := New(2)
+	tr.Emit(0.001, "c", "ev1", "d1")
+	tr.Emit(0.002, "c", "ev2", "d2")
+	tr.Emit(0.003, "c", "ev3", "d3") // drops ev1
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	if strings.Contains(out, "ev1") || !strings.Contains(out, "ev3") {
+		t.Fatalf("dump wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1 earlier events dropped") {
+		t.Fatalf("dropped note missing:\n%s", out)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 5000; i++ {
+		tr.Emit(float64(i), "c", "n", "")
+	}
+	if len(tr.Events()) != 4096 {
+		t.Fatalf("default capacity = %d events", len(tr.Events()))
+	}
+}
