@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/disagg/smartds/internal/experiments"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // csvOut switches table rendering to CSV.
@@ -27,6 +28,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink windows and use modeled payloads")
 	seed := flag.Uint64("seed", 42, "root random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file covering every cluster run")
+	breakdown := flag.Bool("breakdown", false, "append per-stage latency breakdown tables (fig7, ext-reads)")
 	flag.BoolVar(&csvOut, "csv", false, "emit tables as CSV")
 	flag.Parse()
 
@@ -35,7 +38,10 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown}
+	if *traceFile != "" {
+		opt.Trace = trace.New(1 << 18)
+	}
 	start := time.Now()
 	if *exp == "all" {
 		for _, name := range experiments.Names() {
@@ -43,6 +49,20 @@ func main() {
 		}
 	} else {
 		runOne(*exp, opt)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = opt.Trace.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }

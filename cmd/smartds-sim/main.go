@@ -66,7 +66,8 @@ func main() {
 	ddioOff := flag.Bool("no-ddio", false, "disable DDIO (Acc baseline)")
 	maintenance := flag.Bool("maintenance", false, "run background maintenance services")
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
-	traceSpans := flag.Bool("trace", false, "record request spans and print a latency breakdown")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
+	breakdown := flag.Bool("breakdown", false, "print per-stage latency attribution tables")
 
 	flag.Parse()
 
@@ -103,8 +104,8 @@ func main() {
 	}
 
 	var tracer *trace.Tracer
-	if *traceSpans {
-		tracer = trace.New(1 << 16)
+	if *traceFile != "" || *breakdown {
+		tracer = trace.New(1 << 18)
 		cfg.Trace = tracer
 	}
 	c := cluster.New(cfg)
@@ -124,18 +125,49 @@ func main() {
 	})
 
 	printResults(c, res)
-	if tracer != nil {
-		spanTbl := metrics.NewTable("request spans", "span", "count", "mean", "max")
+	if *breakdown {
+		spanTbl := metrics.NewTable("request spans", "span", "count", "mean", "p99", "max")
 		for _, s := range tracer.Spans() {
-			spanTbl.AddRow(s.Label, s.Count, metrics.FormatDuration(s.Mean), metrics.FormatDuration(s.Max))
+			spanTbl.AddRow(s.Label, s.Count, metrics.FormatDuration(s.Mean),
+				metrics.FormatDuration(s.P99), metrics.FormatDuration(s.Max))
 		}
 		fmt.Println(spanTbl.String())
+		wb := cluster.StageBreakdownFor(tracer, cluster.WriteStages, res.Lat.Mean)
+		fmt.Println(wb.Table("write-latency stage breakdown").String())
+		if *reads > 0 {
+			rb := cluster.StageBreakdownFor(tracer, cluster.ReadStages, res.Lat.Mean)
+			fmt.Println(rb.Table("read-latency stage breakdown").String())
+			fmt.Println("note: with a mixed workload the net/request, mt/parse and net/reply" +
+				" histograms blend reads and writes, so neither table tiles its own" +
+				" operation exactly; run -reads 0 (or -exp ext-reads -breakdown) for" +
+				" an exact per-op reconciliation")
+		}
+	}
+	if *traceFile != "" {
+		if err := writeTrace(tracer, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d span leaks)\n", *traceFile, tracer.Leaked())
 	}
 	fmt.Fprintf(os.Stderr, "wall time: %s\n", time.Since(start).Round(time.Millisecond))
 
 	if res.Errors > 0 || res.VerifyMismatches > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the tracer as a Chrome trace-event JSON file.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printResults renders the standard result table.

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/trace"
+)
+
+// WriteStages lists the spans that tile one client write request in
+// virtual time: client issue to middle-tier entry, the four middle-tier
+// stages, and the reply's trip back. Because each stage begins exactly
+// where the previous one ends, the per-stage means sum to the
+// client-observed write latency.
+var WriteStages = []string{
+	"net/request",
+	"mt/parse",
+	"mt/compress",
+	"mt/replicate",
+	"mt/ack",
+	"net/reply",
+}
+
+// ReadStages is the read-path tiling.
+var ReadStages = []string{
+	"net/request",
+	"mt/parse",
+	"mt/fetch",
+	"mt/decompress",
+	"net/reply",
+}
+
+// StageBreakdown attributes end-to-end latency to pipeline stages.
+type StageBreakdown struct {
+	Stages     []trace.SpanStats
+	SumOfMeans float64 // sum of per-stage mean durations (seconds)
+	E2EMean    float64 // measured end-to-end mean latency (seconds)
+}
+
+// Coverage reports what fraction of the end-to-end mean the stage
+// means account for (1.0 when the tiling is gap-free).
+func (b StageBreakdown) Coverage() float64 {
+	if b.E2EMean <= 0 {
+		return 0
+	}
+	return b.SumOfMeans / b.E2EMean
+}
+
+// StageBreakdownFor pulls the named stage histograms out of a tracer
+// and pairs them with a measured end-to-end mean (e.g. Results.Lat.Mean).
+func StageBreakdownFor(tr *trace.Tracer, stages []string, e2eMean float64) StageBreakdown {
+	b := StageBreakdown{E2EMean: e2eMean}
+	byLabel := make(map[string]trace.SpanStats)
+	for _, s := range tr.Spans() {
+		byLabel[s.Label] = s
+	}
+	for _, label := range stages {
+		s, ok := byLabel[label]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		b.Stages = append(b.Stages, s)
+		b.SumOfMeans += s.Mean
+	}
+	return b
+}
+
+// Table renders the breakdown the way experiment output expects: one
+// row per stage plus the reconciliation against the measured mean.
+func (b StageBreakdown) Table(title string) *metrics.Table {
+	tbl := metrics.NewTable(title, "stage", "count", "mean", "p50", "p99", "max")
+	for _, s := range b.Stages {
+		tbl.AddRow(s.Label, s.Count,
+			metrics.FormatDuration(s.Mean), metrics.FormatDuration(s.P50),
+			metrics.FormatDuration(s.P99), metrics.FormatDuration(s.Max))
+	}
+	tbl.AddNote("stage means sum to %s; measured end-to-end mean %s (%.1f%% covered)",
+		metrics.FormatDuration(b.SumOfMeans), metrics.FormatDuration(b.E2EMean),
+		100*b.Coverage())
+	return tbl
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/trace"
+)
+
+func runTraced(t *testing.T, kind middletier.Kind, seed uint64) (*trace.Tracer, Results) {
+	t.Helper()
+	cfg := DefaultConfig(kind)
+	cfg.Seed = seed
+	cfg.Functional = false
+	cfg.Trace = trace.New(1 << 16)
+	c := New(cfg)
+	res := c.Run(Workload{Window: 16, Warmup: 1e-3, Measure: 5e-3})
+	return cfg.Trace, res
+}
+
+func TestWriteStageBreakdownSumsToE2E(t *testing.T) {
+	kinds := []middletier.Kind{middletier.CPUOnly, middletier.Accel, middletier.BF2, middletier.SmartDS}
+	for _, kind := range kinds {
+		tr, res := runTraced(t, kind, 42)
+		b := StageBreakdownFor(tr, WriteStages, res.Lat.Mean)
+		if len(b.Stages) != len(WriteStages) {
+			t.Fatalf("%v: got %d stages, want %d: %+v", kind, len(b.Stages), len(WriteStages), b.Stages)
+		}
+		if cov := b.Coverage(); math.Abs(cov-1) > 0.10 {
+			t.Errorf("%v: stage means cover %.1f%% of the measured e2e mean (sum %g, e2e %g)",
+				kind, 100*cov, b.SumOfMeans, b.E2EMean)
+		}
+	}
+}
+
+func TestTracedRunLeaksNoSpans(t *testing.T) {
+	tr, res := runTraced(t, middletier.SmartDS, 7)
+	if res.Requests == 0 || res.Errors != 0 {
+		t.Fatalf("run did no work: %+v", res)
+	}
+	// The drain grace period lets every inflight request unwind, so all
+	// Begin/End pairs must have matched.
+	if open := tr.OpenSpans(); open != 0 {
+		t.Errorf("open spans after drain = %d", open)
+	}
+	if tr.Leaked() != 0 {
+		t.Errorf("leaked spans = %d", tr.Leaked())
+	}
+}
+
+func TestChromeTraceFromClusterRun(t *testing.T) {
+	tr, _ := runTraced(t, middletier.SmartDS, 42)
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// Every required write stage appears as matched B/E pairs, and the
+	// resource counters made it in.
+	begins := map[string]int{}
+	ends := map[string]int{}
+	counters := map[string]bool{}
+	for _, ev := range events {
+		name, _ := ev["name"].(string)
+		switch ev["ph"] {
+		case "B":
+			begins[name]++
+		case "E":
+			ends[name]++
+		case "C":
+			counters[name] = true
+		}
+	}
+	for _, stage := range []string{"parse", "compress", "replicate", "ack", "request", "reply"} {
+		if begins[stage] == 0 || begins[stage] != ends[stage] {
+			t.Errorf("stage %q: %d begins, %d ends", stage, begins[stage], ends[stage])
+		}
+	}
+	if !counters["mt.mem.read Gbps"] || !counters["mt.sds.pcie.h2d Gbps"] {
+		t.Errorf("missing counter tracks, got %v", counters)
+	}
+}
+
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	dump := func() string {
+		tr, _ := runTraced(t, middletier.SmartDS, 42)
+		var b strings.Builder
+		if err := tr.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := dump(), dump(); a != b {
+		t.Fatal("same-seed runs produced different traces")
+	}
+}

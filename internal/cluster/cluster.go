@@ -92,10 +92,16 @@ func New(cfg Config) *Cluster {
 		c.corpus = corpus.New(cfg.Seed + 1)
 	}
 
+	// One tracer observes every layer: middle-tier stages, AAMS split/
+	// assemble, engine occupancy, transport sends, and disk IOs.
+	cfg.MT.Trace = cfg.Trace
+	cfg.MT.Transport.Trace = cfg.Trace
+
 	c.MT = middletier.New(env, fabric, cfg.MT)
 	for i := 0; i < cfg.NumStorage; i++ {
 		srv := storage.NewServer(env, fabric, netsim.Addr(fmt.Sprintf("ss%d", i)),
 			cfg.ClientPortRate, cfg.MT.Transport, cfg.Disk)
+		srv.Trace = cfg.Trace
 		c.Storage = append(c.Storage, srv)
 	}
 	c.MT.ConnectStorage(c.Storage)
@@ -183,6 +189,7 @@ func (cl *Client) onReply(m *rdma.Message) {
 	if iss.isRead {
 		op = "read"
 	}
+	cl.c.cfg.Trace.End(cl.c.Env.Now(), "net", "reply", middletier.TraceID(uint64(cl.id), h.ReqID))
 	cl.c.cfg.Trace.End(cl.c.Env.Now(), "client"+itoa(cl.id), op, h.ReqID)
 	if h.Status != blockstore.StatusOK {
 		cl.Errors++

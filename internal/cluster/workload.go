@@ -68,6 +68,7 @@ func (cl *Client) issue(w Workload) {
 		op = "read"
 	}
 	c.cfg.Trace.Begin(c.Env.Now(), "client"+itoa(cl.id), op, id)
+	c.cfg.Trace.Begin(c.Env.Now(), "net", "request", middletier.TraceID(uint64(cl.id), id))
 	if isRead {
 		lba := cl.writtenLBAs[cl.rng.Intn(len(cl.writtenLBAs))]
 		loc := c.geo.Resolve(lba)
@@ -188,6 +189,50 @@ func (c *Cluster) Run(w Workload) Results {
 	}
 
 	start := c.Env.Now()
+	// Export periodic resource-utilization counters alongside the request
+	// spans: middle-tier memory and PCIe bandwidth plus the first
+	// client's NIC PSLink, sampled on a fixed virtual-time grid so
+	// same-seed runs produce identical traces.
+	if tr := c.cfg.Trace; tr != nil {
+		const interval = 100e-6
+		stop := start + w.Warmup + w.Measure
+		prevMem, prevNIC, prevAcc, prevSDS := snapshot()
+		prevTx := c.Clients[0].stack.Port().TxStats()
+		prevRx := c.Clients[0].stack.Port().RxStats()
+		var sample func()
+		sample = func() {
+			now := c.Env.Now()
+			m, nic, acc, sds := snapshot()
+			rd, wr := mem.RatesBetween(prevMem, m)
+			tr.Counter(now, "mt.mem.read Gbps", metrics.BytesPerSecToGbps(rd))
+			tr.Counter(now, "mt.mem.write Gbps", metrics.BytesPerSecToGbps(wr))
+			if c.MT.NIC() != nil {
+				h2d, d2h := pcie.RatesBetween(prevNIC, nic)
+				tr.Counter(now, "mt.nic.pcie.h2d Gbps", metrics.BytesPerSecToGbps(h2d))
+				tr.Counter(now, "mt.nic.pcie.d2h Gbps", metrics.BytesPerSecToGbps(d2h))
+			}
+			if c.MT.AccelPCIe() != nil {
+				h2d, d2h := pcie.RatesBetween(prevAcc, acc)
+				tr.Counter(now, "mt.accel.pcie.h2d Gbps", metrics.BytesPerSecToGbps(h2d))
+				tr.Counter(now, "mt.accel.pcie.d2h Gbps", metrics.BytesPerSecToGbps(d2h))
+			}
+			if c.MT.Device() != nil {
+				h2d, d2h := pcie.RatesBetween(prevSDS, sds)
+				tr.Counter(now, "mt.sds.pcie.h2d Gbps", metrics.BytesPerSecToGbps(h2d))
+				tr.Counter(now, "mt.sds.pcie.d2h Gbps", metrics.BytesPerSecToGbps(d2h))
+			}
+			tx := c.Clients[0].stack.Port().TxStats()
+			rx := c.Clients[0].stack.Port().RxStats()
+			tr.Counter(now, "vm0.nic.tx Gbps", metrics.BytesPerSecToGbps(sim.BandwidthBetween(prevTx, tx)))
+			tr.Counter(now, "vm0.nic.rx Gbps", metrics.BytesPerSecToGbps(sim.BandwidthBetween(prevRx, rx)))
+			prevMem, prevNIC, prevAcc, prevSDS = m, nic, acc, sds
+			prevTx, prevRx = tx, rx
+			if now+interval <= stop {
+				c.Env.After(interval, sample)
+			}
+		}
+		c.Env.After(interval, sample)
+	}
 	c.Env.At(start+w.Warmup, func() {
 		memA, nicA, accA, sdsA = snapshot()
 		for _, cl := range c.Clients {

@@ -9,6 +9,7 @@ import (
 	"github.com/disagg/smartds/internal/pcie"
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // Config describes one SmartDS card.
@@ -29,6 +30,9 @@ type Config struct {
 	// CompletionBytes is the size of the completion record DMA-written
 	// to host memory when a descriptor finishes.
 	CompletionBytes float64
+	// Trace, when set, records split/assemble spans and engine
+	// occupancy in virtual time. Nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the VCU128 prototype parameters.
@@ -55,6 +59,9 @@ type Device struct {
 	instances []*Instance
 
 	fpga device.FPGAResources
+
+	tr      *trace.Tracer
+	spanSeq uint64 // split/assemble span correlation ids
 }
 
 // NewDevice creates a SmartDS card attached to the fabric with one port
@@ -82,6 +89,7 @@ func NewDevice(env *sim.Env, name string, fabric *netsim.Fabric, hostMem *mem.Sy
 		pcieLink: pcie.New(env, name+".pcie", cfg.PCIe),
 		hostMem:  hostMem,
 		fpga:     device.SmartDSFootprint(cfg.Ports),
+		tr:       cfg.Trace,
 	}
 	for i := 0; i < cfg.Ports; i++ {
 		port := fabric.NewPort(netsim.Addr(fmt.Sprintf("%s-p%d", name, i)), cfg.PortBytesPerSec)
@@ -92,6 +100,7 @@ func NewDevice(env *sim.Env, name string, fabric *netsim.Fabric, hostMem *mem.Sy
 			engine: device.NewLZ4Engine(env, fmt.Sprintf("%s.lz4[%d]", name, i), d.hbm, cfg.EngineBytesPerSec, 64<<10),
 			recvQ:  make(map[int]*qpRecvState),
 		}
+		inst.engine.SetTrace(cfg.Trace)
 		d.instances = append(d.instances, inst)
 	}
 	return d

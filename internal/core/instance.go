@@ -135,7 +135,11 @@ func (in *Instance) matchRecv(st *qpRecvState) {
 // payload bytes go to device memory, then the host is notified.
 func (in *Instance) place(m *rdma.Message, d *recvDesc) {
 	dev := in.dev
+	dev.spanSeq++
+	span := dev.spanSeq
 	dev.env.Go(fmt.Sprintf("%s.split[%d]", dev.name, in.index), func(p *sim.Proc) {
+		dev.tr.Begin(p.Now(), dev.name, "split", span)
+		defer func() { dev.tr.End(p.Now(), dev.name, "split", span) }()
 		total := int(m.Size)
 		hdr := d.hsize
 		if hdr > total {
@@ -192,7 +196,11 @@ func (in *Instance) DevMixedSend(qp *rdma.QP, hbuf *HostBuf, hsize int, dbuf *de
 	}
 	comp := in.newCompletion()
 	dev := in.dev
+	dev.spanSeq++
+	span := dev.spanSeq
 	dev.env.Go(fmt.Sprintf("%s.assemble[%d]", dev.name, in.index), func(p *sim.Proc) {
+		dev.tr.Begin(p.Now(), dev.name, "assemble", span)
+		defer func() { dev.tr.End(p.Now(), dev.name, "assemble", span) }()
 		// Gather both halves in parallel: PCIe H2D for the header,
 		// device memory for the payload.
 		var waits []*sim.Event

@@ -3,6 +3,7 @@ package device
 import (
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // Engine models one SmartDS hardware engine: a fixed-function unit that
@@ -17,6 +18,9 @@ type Engine struct {
 	slot  *sim.Resource
 	mem   *Memory
 	bytes float64 // total input bytes processed
+
+	tr    *trace.Tracer
+	jobID uint64
 }
 
 // NewEngine creates an engine attached to a device memory.
@@ -35,6 +39,10 @@ func NewEngine(env *sim.Env, name string, mem *Memory, bytesPerSec float64) *Eng
 
 // Name returns the engine name.
 func (e *Engine) Name() string { return e.name }
+
+// SetTrace attaches a tracer; every Run records one occupancy span
+// (queue wait + compute + memory movement) on the engine's own track.
+func (e *Engine) SetTrace(tr *trace.Tracer) { e.tr = tr }
 
 // Rate returns the engine's processing rate in bytes/second.
 func (e *Engine) Rate() float64 { return e.rate }
@@ -62,6 +70,9 @@ func (e *Engine) Busy() bool { return e.slot.InUse() > 0 }
 // 100 Gbps on back-to-back 4 KB blocks. The call still returns only
 // after the result bytes have landed in device memory.
 func (e *Engine) Run(p *sim.Proc, inBytes, outBytes float64) {
+	e.jobID++
+	id := e.jobID
+	e.tr.Begin(p.Now(), e.name, "job", id)
 	e.slot.Acquire(p)
 	inEv := e.mem.StartAccess(inBytes)
 	p.Sleep(inBytes / e.rate)
@@ -70,6 +81,7 @@ func (e *Engine) Run(p *sim.Proc, inBytes, outBytes float64) {
 	e.slot.Release()
 	p.Wait(inEv)
 	p.Wait(outEv)
+	e.tr.End(p.Now(), e.name, "job", id)
 }
 
 // LZ4Engine is the compression engine SmartDS instantiates per port: a

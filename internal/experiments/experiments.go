@@ -21,6 +21,7 @@ import (
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/storage"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // Options tunes experiment scale.
@@ -30,6 +31,13 @@ type Options struct {
 	// corpus blocks.
 	Quick bool
 	Seed  uint64
+	// Trace, when set, is attached to every cluster an experiment
+	// builds; spans and counters from all configurations accumulate in
+	// it (export with trace.WriteChromeTrace).
+	Trace *trace.Tracer
+	// Breakdown appends per-stage latency-attribution tables to the
+	// experiments that support them (fig7, ext-reads).
+	Breakdown bool
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -60,6 +68,7 @@ func (o Options) newCluster(kind middletier.Kind, mutate func(*cluster.Config)) 
 	cfg.Seed = o.Seed
 	cfg.Functional = o.functional()
 	cfg.Disk = expDisk()
+	cfg.Trace = o.Trace
 	if mutate != nil {
 		mutate(&cfg)
 	}

@@ -45,6 +45,16 @@ func (m *Meter) RateSince(t float64) float64 {
 	return (m.total - m.mark) / dt
 }
 
+// LifetimeRate returns the average rate from the meter's creation to
+// time t, independent of any window marks.
+func (m *Meter) LifetimeRate(t float64) float64 {
+	dt := t - m.started
+	if dt <= 0 {
+		return 0
+	}
+	return m.total / dt
+}
+
 // Byte-rate formatting helpers. The paper reports Gbps (decimal giga),
 // so 1 Gbps = 1e9 bits/s.
 

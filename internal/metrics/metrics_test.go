@@ -151,6 +151,103 @@ func TestMeterWindows(t *testing.T) {
 	}
 }
 
+func TestMeterLifetimeRate(t *testing.T) {
+	m := NewMeter(1) // opened at t=1
+	m.Add(100)
+	m.MarkWindow(2) // closing windows must not affect the lifetime rate
+	m.Add(100)
+	if r := m.LifetimeRate(5); r != 50 {
+		t.Fatalf("LifetimeRate(5) = %g, want 200/(5-1) = 50", r)
+	}
+	if r := m.LifetimeRate(1); r != 0 {
+		t.Fatalf("LifetimeRate at creation time = %g, want 0", r)
+	}
+	if r := m.LifetimeRate(0.5); r != 0 {
+		t.Fatalf("LifetimeRate before creation = %g, want 0", r)
+	}
+}
+
+// TestQuantileUnderMass pins Quantile when the target quantile falls
+// inside the below-range (under) mass: every such quantile reports the
+// exact tracked minimum, which is also what ExactQuantile returns only
+// for the smallest sample — so the histogram's answer lower-bounds the
+// exact one but never exceeds the under-range ceiling.
+func TestQuantileUnderMass(t *testing.T) {
+	h := NewLatencyHistogram() // covers [100ns, 10s)
+	samples := []float64{10e-9, 40e-9, 80e-9, 1e-6, 2e-6, 3e-6, 4e-6, 5e-6, 6e-6, 7e-6}
+	for _, v := range samples {
+		h.Record(v)
+	}
+	// q=0.1..0.3 target the three under-range samples.
+	for _, q := range []float64{0.05, 0.1, 0.2, 0.3} {
+		got := h.Quantile(q)
+		if got != 10e-9 {
+			t.Fatalf("Quantile(%g) = %g, want tracked min 10e-9 while inside under mass", q, got)
+		}
+		exact := ExactQuantile(samples, q)
+		if got > exact {
+			t.Fatalf("Quantile(%g) = %g exceeds exact %g", q, got, exact)
+		}
+		if exact >= 100e-9 {
+			t.Fatalf("test setup wrong: exact quantile %g left the under mass", exact)
+		}
+	}
+	// The first in-range quantile must leave the floor and agree with
+	// the exact value to bucket resolution (~3.8% at 60/decade).
+	got := h.Quantile(0.4)
+	exact := ExactQuantile(samples, 0.4)
+	if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+		t.Fatalf("Quantile(0.4) = %g vs exact %g (rel err %g)", got, exact, rel)
+	}
+}
+
+// TestQuantileOverMass pins Quantile when the target falls inside the
+// above-range (over) mass: it reports the exact tracked maximum, which
+// upper-bounds the exact quantile.
+func TestQuantileOverMass(t *testing.T) {
+	h := NewHistogram(100e-9, 1e-3, 60) // deliberately narrow: [100ns, 1ms)
+	samples := []float64{1e-6, 2e-6, 3e-6, 4e-6, 5e-6, 6e-6, 7e-6, 2e-3, 3e-3, 5e-3}
+	for _, v := range samples {
+		h.Record(v)
+	}
+	for _, q := range []float64{0.75, 0.8, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got != 5e-3 {
+			t.Fatalf("Quantile(%g) = %g, want tracked max 5e-3 while inside over mass", q, got)
+		}
+		exact := ExactQuantile(samples, q)
+		if got < exact {
+			t.Fatalf("Quantile(%g) = %g below exact %g", q, got, exact)
+		}
+	}
+	// A quantile below the over mass must stay in-range and accurate.
+	got := h.Quantile(0.5)
+	exact := ExactQuantile(samples, 0.5)
+	if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+		t.Fatalf("Quantile(0.5) = %g vs exact %g (rel err %g)", got, exact, rel)
+	}
+}
+
+// TestQuantileNearFloor mirrors the breakdown-table concern: stages
+// whose durations sit at or below the 100 ns histogram floor must not
+// silently mis-report — the mean stays exact even when every sample is
+// under-range, and quantiles clamp to the true extremes.
+func TestQuantileNearFloor(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(50e-9) // completion bookkeeping, sub-floor
+	}
+	if m := h.Mean(); math.Abs(m-50e-9) > 1e-15 {
+		t.Fatalf("mean of sub-floor samples = %g, want 50e-9 (float-sum exact)", m)
+	}
+	if got := h.Quantile(0.99); got != 50e-9 {
+		t.Fatalf("p99 of sub-floor samples = %g, want 50e-9", got)
+	}
+	if got, exact := h.Quantile(0.5), ExactQuantile([]float64{50e-9}, 0.5); got != exact {
+		t.Fatalf("p50 = %g, exact = %g", got, exact)
+	}
+}
+
 func TestRateConversions(t *testing.T) {
 	if g := BytesPerSecToGbps(12.5e9 / 100 * 100); math.Abs(g-100) > 1e-9 {
 		t.Fatalf("12.5 GB/s = %g Gbps, want 100", g)

@@ -21,6 +21,9 @@ func (s *Server) bf2Recv(qp *rdma.QP, m *rdma.Message) {
 		return
 	}
 	s.env.Go("bf2.req", func(p *sim.Proc) {
+		tid := traceID(req.hdr)
+		s.cfg.Trace.End(p.Now(), "net", "request", tid)
+		s.cfg.Trace.Begin(p.Now(), "mt", "parse", tid)
 		// Network-in: the message is written into SoC DRAM.
 		s.bf2Mem.Access(p, m.Size)
 		switch req.hdr.Op {
@@ -41,14 +44,18 @@ func (s *Server) bf2StorageReply(m *rdma.Message) {
 }
 
 func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
 	arm := s.nextBF2Core()
 	arm.Parse(p)
+	tr.End(p.Now(), "mt", "parse", tid)
 	s.BytesIn += req.size
 
 	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
 	var frame []byte
 	var frameSize float64
 	flags := uint8(0)
+	tr.Begin(p.Now(), "mt", "compress", tid)
 	if bypass {
 		s.BypassHits++
 		frame = req.payload
@@ -69,6 +76,7 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 		}
 		flags = blockstore.FlagCompressed
 	}
+	tr.End(p.Now(), "mt", "compress", tid)
 
 	repID, pr := s.newPending(s.cfg.Replicas)
 	rh := blockstore.Header{
@@ -88,6 +96,7 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 
 	// Which port's storage QPs: same port the client is bound to.
 	path := s.bf2PathOf(clientQP)
+	tr.Begin(p.Now(), "mt", "replicate", tid)
 	for _, idx := range s.replicasFor(req.hdr) {
 		qp := s.storagePaths[path][idx]
 		// Network-out: read the frame from SoC DRAM per replica.
@@ -95,16 +104,23 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 		qp.SendSized(msg, msgSize)
 	}
 	p.Wait(pr.done)
+	tr.End(p.Now(), "mt", "replicate", tid)
 
+	tr.Begin(p.Now(), "mt", "ack", tid)
 	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	tr.End(p.Now(), "mt", "ack", tid)
+	tr.Begin(p.Now(), "net", "reply", tid)
 	clientQP.Send(reply.Encode())
 	s.WritesDone++
 	s.BytesStored += frameSize * float64(s.cfg.Replicas)
 }
 
 func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
 	arm := s.nextBF2Core()
 	arm.Parse(p)
+	tr.End(p.Now(), "mt", "parse", tid)
 
 	repID, pr := s.newPending(1)
 	fh := blockstore.Header{
@@ -113,15 +129,19 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	}
 	path := s.bf2PathOf(clientQP)
 	idx := s.readReplicaFor(req.hdr)
+	tr.Begin(p.Now(), "mt", "fetch", tid)
 	s.storagePaths[path][idx].Send(fh.Encode())
 	p.Wait(pr.done)
+	tr.End(p.Now(), "mt", "fetch", tid)
 
 	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
 	if pr.status != blockstore.StatusOK {
+		tr.Begin(p.Now(), "net", "reply", tid)
 		clientQP.Send(reply.Encode())
 		s.ReadsDone++
 		return
 	}
+	tr.Begin(p.Now(), "mt", "decompress", tid)
 	blockSize := float64(s.cfg.BlockSize)
 	var block []byte
 	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
@@ -133,7 +153,9 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 		var err error
 		block, err = lz4.DecodeFrame(pr.payload)
 		if err != nil {
+			tr.End(p.Now(), "mt", "decompress", tid)
 			reply.Status = blockstore.StatusCorrupt
+			tr.Begin(p.Now(), "net", "reply", tid)
 			clientQP.Send(reply.Encode())
 			s.ReadsDone++
 			return
@@ -148,6 +170,8 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	}
 	// Network-out read of the reply payload.
 	s.bf2Mem.Access(p, blockSize)
+	tr.End(p.Now(), "mt", "decompress", tid)
+	tr.Begin(p.Now(), "net", "reply", tid)
 	if block != nil {
 		clientQP.Send(blockstore.Message(&reply, block))
 	} else {

@@ -100,14 +100,20 @@ func encodeFrameWith(enc *lz4.Encoder, block []byte, level lz4.Level) ([]byte, e
 
 // hostWrite serves one write request on the CPUOnly or Accel path.
 func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
+	tr.End(p.Now(), "net", "request", tid)
+	tr.Begin(p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
 	core.Parse(p)
+	tr.End(p.Now(), "mt", "parse", tid)
 	s.BytesIn += req.size
 
 	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
 	var frame []byte
 	var frameSize float64
 	flags := uint8(0)
+	tr.Begin(p.Now(), "mt", "compress", tid)
 	switch {
 	case bypass:
 		s.BypassHits++
@@ -127,6 +133,7 @@ func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
 		frame, frameSize = s.accelCompress(p, core, req)
 		flags = blockstore.FlagCompressed
 	}
+	tr.End(p.Now(), "mt", "compress", tid)
 
 	s.replicateAndReply(p, clientQP, req, frame, frameSize, flags)
 }
@@ -197,13 +204,20 @@ func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, 
 	}
 	msgSize := blockstore.HeaderSize + frameSize
 
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
+	tr.Begin(p.Now(), "mt", "replicate", tid)
 	for _, idx := range s.replicasFor(req.hdr) {
 		qp := s.storagePaths[0][idx]
 		s.nic.Send(qp, msg, msgSize)
 	}
 	p.Wait(pr.done)
+	tr.End(p.Now(), "mt", "replicate", tid)
 
+	tr.Begin(p.Now(), "mt", "ack", tid)
 	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	tr.End(p.Now(), "mt", "ack", tid)
+	tr.Begin(p.Now(), "net", "reply", tid)
 	s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 	s.WritesDone++
 	s.BytesStored += frameSize * float64(s.cfg.Replicas)
@@ -212,8 +226,13 @@ func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, 
 // hostRead serves one read request: fetch from one storage server,
 // decompress, reply with the block.
 func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
+	tr.End(p.Now(), "net", "request", tid)
+	tr.Begin(p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
 	core.Parse(p)
+	tr.End(p.Now(), "mt", "parse", tid)
 
 	repID, pr := s.newPending(1)
 	fh := blockstore.Header{
@@ -224,16 +243,20 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 		BlockOff:  req.hdr.BlockOff,
 	}
 	idx := s.readReplicaFor(req.hdr)
+	tr.Begin(p.Now(), "mt", "fetch", tid)
 	s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
 	p.Wait(pr.done)
+	tr.End(p.Now(), "mt", "fetch", tid)
 
 	if pr.status != blockstore.StatusOK {
 		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
+		tr.Begin(p.Now(), "net", "reply", tid)
 		s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 		s.ReadsDone++
 		return
 	}
 
+	tr.Begin(p.Now(), "mt", "decompress", tid)
 	var block []byte
 	blockSize := float64(s.cfg.BlockSize)
 	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
@@ -269,7 +292,9 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 			p.Wait(wb)
 		}
 		if err != nil {
+			tr.End(p.Now(), "mt", "decompress", tid)
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusCorrupt}
+			tr.Begin(p.Now(), "net", "reply", tid)
 			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 			s.ReadsDone++
 			return
@@ -286,6 +311,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 		blockSize = pr.size
 	}
 
+	tr.End(p.Now(), "mt", "decompress", tid)
 	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusOK}
 	var msg []byte
 	if block != nil {
@@ -294,6 +320,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 		reply.PayloadLen = uint32(blockSize)
 		msg = reply.Encode()
 	}
+	tr.Begin(p.Now(), "net", "reply", tid)
 	s.nic.Send(clientQP, msg, blockstore.HeaderSize+blockSize)
 	s.ReadsDone++
 }

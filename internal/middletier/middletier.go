@@ -32,6 +32,7 @@ import (
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/sim"
 	"github.com/disagg/smartds/internal/storage"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // Kind selects the middle-tier design.
@@ -109,6 +110,10 @@ type Config struct {
 	SplitBytes int
 	// HBM overrides the SmartDS device memory (tests shrink it).
 	HBM device.MemoryConfig
+
+	// Trace, when set, records per-stage request spans (parse, compress,
+	// replicate, ack, ...) in virtual time. Nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the paper's testbed parameters for a kind.
@@ -299,6 +304,7 @@ func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
 			AccessLatency: 150e-9,
 		})
 		s.bf2Engine = device.NewLZ4Engine(env, "bf2.lz4", s.bf2Mem, cfg.BF2EngineRate, 64<<10)
+		s.bf2Engine.SetTrace(cfg.Trace)
 		for i := 0; i < cfg.Ports; i++ {
 			port := fabric.NewPort(netsim.Addr(fmt.Sprintf("mt-bf2-p%d", i)), cfg.PortRate)
 			s.bf2Stacks = append(s.bf2Stacks, rdma.NewStack(env, port, cfg.Transport))
@@ -319,6 +325,7 @@ func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
 		devCfg.PCIe = cfg.PCIe
 		devCfg.Transport = cfg.Transport
 		devCfg.HBM = cfg.HBM
+		devCfg.Trace = cfg.Trace
 		s.sds = core.NewDevice(env, "mt-sds", fabric, s.Mem, devCfg)
 	default:
 		panic(fmt.Sprintf("middletier: unknown kind %d", cfg.Kind))
@@ -492,6 +499,18 @@ func (s *Server) onStorageReply(m *rdma.Message) {
 		s.completePending(h.ReqID, h.Status, payload, size, h)
 	}
 }
+
+// TraceID builds the cluster-wide span correlation id for one client
+// request: the issuing VM in the high bits, the per-VM request id
+// below. Clients and every middle-tier design derive the same value
+// from the header, so one request's spans line up across components.
+func TraceID(vmID, reqID uint64) uint64 { return vmID<<48 ^ reqID }
+
+// traceID is TraceID from a parsed request header.
+func traceID(hdr blockstore.Header) uint64 { return TraceID(hdr.VMID, hdr.ReqID) }
+
+// now is shorthand for the current virtual time.
+func (s *Server) now() float64 { return s.env.Now() }
 
 // chunkKey identifies one chunk for placement.
 type chunkKey struct {

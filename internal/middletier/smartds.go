@@ -104,8 +104,13 @@ func (c *sdsClientConn) handle(p *sim.Proc, i int, res core.Result, repost func(
 		}
 		req.payload = nil // functional path requires the header-only split
 	}
+	tid := traceID(hdr)
+	tr := s.cfg.Trace
+	tr.End(p.Now(), "net", "request", tid)
+	tr.Begin(p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
 	core.Parse(p)
+	tr.End(p.Now(), "mt", "parse", tid)
 
 	switch hdr.Op {
 	case blockstore.OpWrite:
@@ -122,12 +127,15 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	s.BytesIn += req.size
 	inst := c.inst
 	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
 
 	var payloadBuf *device.Buffer
 	var payloadSize float64
 	var freePayload bool
 	flags := uint8(0)
 
+	tr.Begin(p.Now(), "mt", "compress", tid)
 	if bypass {
 		s.BypassHits++
 		payloadBuf = c.dbufs[slot]
@@ -166,6 +174,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 		flags = blockstore.FlagCompressed
 		repost() // the descriptor's payload buffer is consumed
 	}
+	tr.End(p.Now(), "mt", "compress", tid)
 
 	repID, pr := s.newPending(s.cfg.Replicas)
 	rh := blockstore.Header{
@@ -179,10 +188,13 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	copy(repHdr.Bytes(), rh.Encode())
 
 	path := inst.Index()
+	tr.Begin(p.Now(), "mt", "replicate", tid)
 	for _, idx := range s.replicasFor(req.hdr) {
 		inst.DevMixedSend(s.storagePaths[path][idx], repHdr, blockstore.HeaderSize, payloadBuf, int(payloadSize))
 	}
 	p.Wait(pr.done)
+	tr.End(p.Now(), "mt", "replicate", tid)
+	tr.Begin(p.Now(), "mt", "ack", tid)
 	s.nextCore().Work(p, completionCPUTime*float64(s.cfg.Replicas))
 
 	if freePayload {
@@ -192,6 +204,8 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
 	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 	copy(replyHdr.Bytes(), reply.Encode())
+	tr.End(p.Now(), "mt", "ack", tid)
+	tr.Begin(p.Now(), "net", "reply", tid)
 	inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 	s.nextCore().Work(p, completionCPUTime)
 	s.WritesDone++
@@ -202,6 +216,8 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 // HBM, engine-decompress it there, and assemble the reply.
 func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	inst := c.inst
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace
 	repID, pr := s.newPending(1)
 	fh := blockstore.Header{
 		Op: blockstore.OpFetch, ReqID: repID,
@@ -211,14 +227,17 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	copy(fetchHdr.Bytes(), fh.Encode())
 	path := inst.Index()
 	idx := s.readReplicaFor(req.hdr)
+	tr.Begin(p.Now(), "mt", "fetch", tid)
 	inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
 	p.Wait(pr.done)
 	s.nextCore().Work(p, completionCPUTime)
+	tr.End(p.Now(), "mt", "fetch", tid)
 
 	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
 	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 	if pr.status != blockstore.StatusOK {
 		copy(replyHdr.Bytes(), reply.Encode())
+		tr.Begin(p.Now(), "net", "reply", tid)
 		inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 		if pr.release != nil {
 			pr.release()
@@ -227,6 +246,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 		return
 	}
 
+	tr.Begin(p.Now(), "mt", "decompress", tid)
 	blockSize := float64(s.cfg.BlockSize)
 	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
 	var block []byte
@@ -235,8 +255,10 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 			var err error
 			block, err = lz4.DecodeFrame(pr.payload)
 			if err != nil {
+				tr.End(p.Now(), "mt", "decompress", tid)
 				reply.Status = blockstore.StatusCorrupt
 				copy(replyHdr.Bytes(), reply.Encode())
+				tr.Begin(p.Now(), "net", "reply", tid)
 				inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 				if pr.release != nil {
 					pr.release()
@@ -272,9 +294,11 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	if pr.release != nil {
 		pr.release()
 	}
+	tr.End(p.Now(), "mt", "decompress", tid)
 
 	reply.PayloadLen = uint32(blockSize)
 	copy(replyHdr.Bytes(), reply.Encode())
+	tr.Begin(p.Now(), "net", "reply", tid)
 	comp := inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, blockBuf, int(blockSize))
 	core.Poll(p, comp)
 	blockBuf.Free()

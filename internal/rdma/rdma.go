@@ -16,6 +16,7 @@ import (
 
 	"github.com/disagg/smartds/internal/netsim"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // QPID names a queue pair globally: fabric address plus QP number.
@@ -39,6 +40,10 @@ type Config struct {
 	// HeaderBytes is the transport header charged per message on the
 	// wire in addition to payload framing.
 	HeaderBytes float64
+	// Trace, when set, records one span per reliable send (post to
+	// cumulative ACK) and an instant per go-back-N retransmission on
+	// the stack's own track. Nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns datacenter RoCE-ish parameters.
@@ -64,12 +69,16 @@ var ErrRetriesExhausted = fmt.Errorf("rdma: retries exhausted")
 
 // Stack is one RoCE instance bound to a fabric port.
 type Stack struct {
-	env  *sim.Env
-	port *netsim.Port
-	cfg  Config
-	qps  map[int]*QP
-	next int
+	env     *sim.Env
+	port    *netsim.Port
+	cfg     Config
+	qps     map[int]*QP
+	next    int
+	spanSeq uint64 // send span correlation ids, unique per stack
 }
+
+// traceName is the stack's trace track ("rdma.<addr>").
+func (s *Stack) traceName() string { return "rdma." + string(s.port.Addr()) }
 
 // packet is the on-fabric representation.
 type packet struct {
@@ -131,7 +140,8 @@ type pendingSend struct {
 	retries  int
 	done     *sim.Event
 	timer    *sim.Timer
-	resolved bool // acked or failed
+	resolved bool   // acked or failed
+	span     uint64 // trace span id (0 when tracing is off)
 }
 
 func (ps *pendingSend) cancelTimer() {
@@ -182,8 +192,20 @@ func (qp *QP) send(data []byte, size float64) *sim.Event {
 	ps := &pendingSend{seq: qp.sendSeq, data: data, size: size, done: done}
 	qp.sendSeq++
 	qp.unacked = append(qp.unacked, ps)
+	if tr := qp.stack.cfg.Trace; tr != nil {
+		qp.stack.spanSeq++
+		ps.span = qp.stack.spanSeq
+		tr.Begin(qp.stack.env.Now(), qp.stack.traceName(), "send", ps.span)
+	}
 	qp.transmit(ps)
 	return done
+}
+
+// endSendSpan closes a pending send's trace span when it resolves.
+func (qp *QP) endSendSpan(ps *pendingSend) {
+	if ps.span != 0 {
+		qp.stack.cfg.Trace.End(qp.stack.env.Now(), qp.stack.traceName(), "send", ps.span)
+	}
 }
 
 // transmit puts one message on the fabric. The retransmission timer is
@@ -240,6 +262,7 @@ func (qp *QP) onTimeout(timed *pendingSend) {
 	}
 	kept := qp.unacked[:idx]
 	var failed []*pendingSend
+	tr := qp.stack.cfg.Trace
 	for _, ps := range qp.unacked[idx:] {
 		ps.retries++
 		if ps.retries > qp.stack.cfg.MaxRetries {
@@ -248,11 +271,16 @@ func (qp *QP) onTimeout(timed *pendingSend) {
 			failed = append(failed, ps)
 			continue
 		}
+		if tr != nil {
+			tr.Emit(qp.stack.env.Now(), qp.stack.traceName(), "retransmit",
+				fmt.Sprintf("seq %d retry %d", ps.seq, ps.retries))
+		}
 		qp.transmit(ps)
 		kept = append(kept, ps)
 	}
 	qp.unacked = kept
 	for _, ps := range failed {
+		qp.endSendSpan(ps)
 		ps.done.Trigger(ErrRetriesExhausted)
 	}
 }
@@ -324,6 +352,7 @@ func (qp *QP) onAck(next uint64) {
 	}
 	qp.unacked = kept
 	for _, ps := range completed {
+		qp.endSendSpan(ps)
 		ps.done.Trigger(nil)
 	}
 }

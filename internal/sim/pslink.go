@@ -54,16 +54,71 @@ func (l *PSLink) Rate() float64 { return l.rate }
 // InFlight returns the number of active transfers.
 func (l *PSLink) InFlight() int { return len(l.jobs) }
 
-// perJobRate returns the current rate of a job with the given weight.
-func (l *PSLink) perJobRate(weight float64) float64 {
-	if l.weightSum <= 0 {
-		return 0
+// jobRates returns the current per-job rates, index-aligned with
+// l.jobs. Without a flow cap this is plain weighted processor sharing.
+// With one, capacity is assigned by water-filling: flows whose fair
+// share exceeds flowCap are pinned at the cap and the residual is
+// re-shared among the remaining flows (iterating, since a larger share
+// may push further flows to the cap) — so a capped flow never strands
+// capacity other flows could use.
+func (l *PSLink) jobRates() []float64 {
+	rates := make([]float64, len(l.jobs))
+	if len(l.jobs) == 0 {
+		return rates
 	}
-	r := l.rate * weight / l.weightSum
-	if l.flowCap > 0 && r > l.flowCap {
-		r = l.flowCap
+	if l.flowCap <= 0 {
+		if l.weightSum > 0 {
+			for i, j := range l.jobs {
+				rates[i] = l.rate * j.weight / l.weightSum
+			}
+		}
+		return rates
 	}
-	return r
+	remaining := l.rate
+	uncapped := make([]int, 0, len(l.jobs))
+	for i := range l.jobs {
+		uncapped = append(uncapped, i)
+	}
+	for len(uncapped) > 0 && remaining > 0 {
+		wsum := 0.0
+		for _, i := range uncapped {
+			wsum += l.jobs[i].weight
+		}
+		if wsum <= 0 {
+			break
+		}
+		newlyCapped := false
+		kept := uncapped[:0]
+		for _, i := range uncapped {
+			share := remaining * l.jobs[i].weight / wsum
+			if share >= l.flowCap {
+				rates[i] = l.flowCap
+				newlyCapped = true
+			} else {
+				kept = append(kept, i)
+			}
+		}
+		uncapped = kept
+		if newlyCapped {
+			// Recompute the pool left for the still-uncapped flows.
+			remaining = l.rate
+			for i := range l.jobs {
+				if rates[i] > 0 {
+					remaining -= rates[i]
+				}
+			}
+			if remaining < 0 {
+				remaining = 0
+			}
+			continue
+		}
+		// No flow hit the cap: the shares are final.
+		for _, i := range uncapped {
+			rates[i] = remaining * l.jobs[i].weight / wsum
+		}
+		break
+	}
+	return rates
 }
 
 // advance applies progress to all jobs for the time since last update.
@@ -74,8 +129,9 @@ func (l *PSLink) advance() {
 	if dt <= 0 || len(l.jobs) == 0 {
 		return
 	}
-	for _, j := range l.jobs {
-		prog := dt * l.perJobRate(j.weight)
+	rates := l.jobRates()
+	for i, j := range l.jobs {
+		prog := dt * rates[i]
 		if prog > j.remaining {
 			prog = j.remaining
 		}
@@ -95,8 +151,9 @@ func (l *PSLink) reschedule() {
 		return
 	}
 	next := math.Inf(1)
-	for _, j := range l.jobs {
-		r := l.perJobRate(j.weight)
+	rates := l.jobRates()
+	for i, j := range l.jobs {
+		r := rates[i]
 		if r <= 0 {
 			continue
 		}
@@ -119,14 +176,15 @@ func (l *PSLink) complete() {
 	const eps = 1e-6 // bytes; transfers are whole bytes, fluid-modeled
 	now := l.env.now
 	var finished []*psJob
+	rates := l.jobRates()
 	kept := l.jobs[:0]
-	for _, j := range l.jobs {
+	for i, j := range l.jobs {
 		done := j.remaining <= eps
 		if !done {
 			// Guard against float livelock: if the projected completion
 			// time is not representable past `now`, the leftover work is
 			// below the clock's resolution — finish it immediately.
-			if r := l.perJobRate(j.weight); r > 0 && now+j.remaining/r <= now {
+			if r := rates[i]; r > 0 && now+j.remaining/r <= now {
 				done = true
 			}
 		}

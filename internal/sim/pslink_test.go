@@ -67,6 +67,68 @@ func TestPSLinkFlowCap(t *testing.T) {
 	}
 }
 
+func TestPSLinkFlowCapWaterFilling(t *testing.T) {
+	// Water-filling regression: 100 B/s link, per-flow cap 70. A heavy
+	// flow (weight 9, fair share 90) is capped at 70; the light flow
+	// (weight 1, fair share 10) must inherit the residual: 30 B/s, not
+	// its naive 10 B/s share. Sized 70 B and 30 B, both finish at t=1.
+	e := NewEnv()
+	l := e.NewPSLink("l", 100, 70)
+	var tHeavy, tLight Time
+	e.Go("heavy", func(p *Proc) { l.TransferWeighted(p, 70, 9); tHeavy = p.Now() })
+	e.Go("light", func(p *Proc) { l.TransferWeighted(p, 30, 1); tLight = p.Now() })
+	e.Run(0)
+	if !almostEq(tHeavy, 1.0, 1e-9) {
+		t.Fatalf("capped flow finished at %g, want 1.0 (70 B/s)", tHeavy)
+	}
+	if !almostEq(tLight, 1.0, 1e-9) {
+		t.Fatalf("uncapped flow finished at %g, want 1.0 (30 B/s after redistribution)", tLight)
+	}
+	st := l.Snapshot()
+	if !almostEq(st.Work, 100, 1e-6) {
+		t.Fatalf("total work %g, want 100 (conservation)", st.Work)
+	}
+	if !almostEq(st.BusyTime, 1.0, 1e-9) {
+		t.Fatalf("busy time %g, want 1.0", st.BusyTime)
+	}
+}
+
+func TestPSLinkWaterFillingCascade(t *testing.T) {
+	// Iterative refill: weights 6/3/1 on a 100 B/s link with cap 40.
+	// Fair shares 60/30/10 -> A pinned at 40; residual 60 re-shared 3:1
+	// gives B 45 -> B pinned at 40 too; C gets the final 20. Sizes are
+	// proportional (40/40/20) so every flow completes exactly at t=1.
+	e := NewEnv()
+	l := e.NewPSLink("l", 100, 40)
+	var ta, tb, tc Time
+	e.Go("a", func(p *Proc) { l.TransferWeighted(p, 40, 6); ta = p.Now() })
+	e.Go("b", func(p *Proc) { l.TransferWeighted(p, 40, 3); tb = p.Now() })
+	e.Go("c", func(p *Proc) { l.TransferWeighted(p, 20, 1); tc = p.Now() })
+	e.Run(0)
+	for i, got := range []Time{ta, tb, tc} {
+		if !almostEq(got, 1.0, 1e-9) {
+			t.Fatalf("flow %d finished at %g, want 1.0 (rates 40/40/20)", i, got)
+		}
+	}
+	if st := l.Snapshot(); !almostEq(st.Work, 100, 1e-6) {
+		t.Fatalf("total work %g, want 100", st.Work)
+	}
+}
+
+func TestPSLinkFlowCapAllCapped(t *testing.T) {
+	// When every flow's share exceeds the cap, each runs at exactly the
+	// cap and the link legitimately idles the rest of its capacity.
+	e := NewEnv()
+	l := e.NewPSLink("l", 100, 30)
+	var t1, t2 Time
+	e.Go("a", func(p *Proc) { l.Transfer(p, 30); t1 = p.Now() })
+	e.Go("b", func(p *Proc) { l.Transfer(p, 30); t2 = p.Now() })
+	e.Run(0)
+	if !almostEq(t1, 1.0, 1e-9) || !almostEq(t2, 1.0, 1e-9) {
+		t.Fatalf("capped flows finished at %g, %g; want 1.0 both", t1, t2)
+	}
+}
+
 func TestPSLinkWeights(t *testing.T) {
 	// Weight 3 vs weight 1: rates 75 and 25 until the heavy one leaves.
 	// Heavy: 150B at 75 B/s => t=2. Light: 50B by t=2, then 100B left at

@@ -6,6 +6,7 @@ import (
 	"github.com/disagg/smartds/internal/netsim"
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // DiskConfig models the server's NVMe flash (paper cites PCIe flash
@@ -87,6 +88,28 @@ type Server struct {
 	// Verify enables payload CRC checking on replicate (integrity
 	// testing; adds wall-clock cost, not simulated time).
 	Verify bool
+	// Trace, when set, records one span per disk IO (queue wait +
+	// access latency + bandwidth) on the server's track.
+	Trace   *trace.Tracer
+	diskSeq uint64
+}
+
+// diskWrite wraps one disk write IO in a trace span.
+func (s *Server) diskWrite(p *sim.Proc, n float64) {
+	s.diskSeq++
+	id := s.diskSeq
+	s.Trace.Begin(p.Now(), s.name, "disk-write", id)
+	s.disk.Write(p, n)
+	s.Trace.End(p.Now(), s.name, "disk-write", id)
+}
+
+// diskRead wraps one disk read IO in a trace span.
+func (s *Server) diskRead(p *sim.Proc, n float64) {
+	s.diskSeq++
+	id := s.diskSeq
+	s.Trace.Begin(p.Now(), s.name, "disk-read", id)
+	s.disk.Read(p, n)
+	s.Trace.End(p.Now(), s.name, "disk-read", id)
 }
 
 // NewServer attaches a storage server to the fabric.
@@ -123,7 +146,7 @@ func (s *Server) serve(qp *rdma.QP, m *rdma.Message) {
 			// Modeled-only traffic: charge the disk for the payload and
 			// reply with a bare success header.
 			s.Writes++
-			s.disk.Write(p, m.Size)
+			s.diskWrite(p, m.Size)
 			h := blockstore.Header{Op: blockstore.OpReplicateReply, Status: blockstore.StatusOK}
 			p.Wait(qp.Send(h.Encode()))
 			return
@@ -139,7 +162,7 @@ func (s *Server) serve(qp *rdma.QP, m *rdma.Message) {
 		// modeled-size traffic: charge the disk, skip the store.
 		if len(payload) == 0 && h.PayloadLen > 0 && h.Op == blockstore.OpReplicate {
 			s.Writes++
-			s.disk.Write(p, float64(h.PayloadLen))
+			s.diskWrite(p, float64(h.PayloadLen))
 			key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
 			s.store.AppendModeled(key, h.PayloadLen, h.Flags)
 			reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: blockstore.StatusOK}
@@ -173,7 +196,7 @@ func (s *Server) serveWrite(p *sim.Proc, qp *rdma.QP, h blockstore.Header, paylo
 	}
 	if status == blockstore.StatusOK {
 		key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
-		s.disk.Write(p, float64(len(payload)))
+		s.diskWrite(p, float64(len(payload)))
 		s.store.AppendFlagged(key, payload, h.Flags)
 	}
 	reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: status}
@@ -189,7 +212,7 @@ func (s *Server) serveRead(p *sim.Proc, qp *rdma.QP, h blockstore.Header) {
 		p.Wait(qp.Send(reply.Encode()))
 		return
 	}
-	s.disk.Read(p, float64(rec.SizeHint))
+	s.diskRead(p, float64(rec.SizeHint))
 	reply := blockstore.Header{
 		Op:     blockstore.OpFetchReply,
 		ReqID:  h.ReqID,

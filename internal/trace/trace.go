@@ -1,23 +1,48 @@
 // Package trace records simulation events into a bounded ring for
 // debugging and latency breakdowns. A nil *Tracer is valid and records
 // nothing, so call sites need no guards.
+//
+// Three record kinds exist:
+//
+//   - instant events (Emit): a point occurrence on a component track;
+//   - spans (Begin/End): a named interval correlated by (component,
+//     name, id); completed spans feed a per-label latency histogram so
+//     Breakdown can attribute end-to-end latency to pipeline stages;
+//   - counter samples (Counter): a periodic reading of a bandwidth or
+//     occupancy value, rendered as a counter track.
+//
+// All timestamps are virtual seconds, so traces from the same seed are
+// byte-identical across runs. WriteChromeTrace exports the ring as
+// Chrome trace-event JSON viewable in Perfetto or chrome://tracing,
+// with the virtual microsecond as the timebase.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+
+	"github.com/disagg/smartds/internal/metrics"
 )
 
-// Event is one recorded occurrence in virtual time.
+// Event is one recorded occurrence in virtual time. Dur > 0 marks a
+// completed span starting at At; Counter marks a counter sample whose
+// reading is Value.
 type Event struct {
-	At        float64 // virtual seconds
+	At        float64 // virtual seconds (span: start time)
 	Component string  // e.g. "client0", "mt", "ss2"
-	Name      string  // e.g. "issue", "compress-done"
+	Name      string  // e.g. "issue", "compress"
 	Detail    string
+	Dur       float64 // span duration in virtual seconds (0 = instant)
+	ID        uint64  // span correlation id
+	Counter   bool    // counter sample
+	Value     float64 // counter reading
 }
 
-// Tracer is a bounded ring of events.
+// Tracer is a bounded ring of events plus per-label span histograms.
+// The open-span table is bounded too: a Begin with no matching End is
+// evicted once maxOpen spans are outstanding and counted in Leaked.
 type Tracer struct {
 	cap     int
 	events  []Event
@@ -25,14 +50,22 @@ type Tracer struct {
 	wrapped bool
 	dropped uint64
 
-	open map[spanKey]float64
-	durs map[string][]float64
+	open    map[spanKey]float64
+	maxOpen int
+	leaked  uint64
+
+	hists map[string]*metrics.Histogram
 }
 
 type spanKey struct {
 	component, name string
 	id              uint64
 }
+
+// defaultMaxOpen bounds the open-span table; the deepest legitimate
+// nesting in the simulator is a few spans per in-flight request, so
+// crossing this means Begin/End pairing is broken somewhere.
+const defaultMaxOpen = 1 << 16
 
 // New creates a tracer holding up to capacity events (older events are
 // overwritten once full).
@@ -41,19 +74,16 @@ func New(capacity int) *Tracer {
 		capacity = 4096
 	}
 	return &Tracer{
-		cap:    capacity,
-		events: make([]Event, 0, capacity),
-		open:   make(map[spanKey]float64),
-		durs:   make(map[string][]float64),
+		cap:     capacity,
+		events:  make([]Event, 0, capacity),
+		open:    make(map[spanKey]float64),
+		maxOpen: defaultMaxOpen,
+		hists:   make(map[string]*metrics.Histogram),
 	}
 }
 
-// Emit records one event. Nil tracers drop silently.
-func (t *Tracer) Emit(at float64, component, name, detail string) {
-	if t == nil {
-		return
-	}
-	ev := Event{At: at, Component: component, Name: name, Detail: detail}
+// record appends one event to the ring.
+func (t *Tracer) record(ev Event) {
 	if len(t.events) < t.cap {
 		t.events = append(t.events, ev)
 		return
@@ -64,16 +94,57 @@ func (t *Tracer) Emit(at float64, component, name, detail string) {
 	t.dropped++
 }
 
-// Begin opens a span identified by (component, name, id).
+// Emit records one instant event. Nil tracers drop silently.
+func (t *Tracer) Emit(at float64, component, name, detail string) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: at, Component: component, Name: name, Detail: detail})
+}
+
+// Counter records one counter sample on the given track.
+func (t *Tracer) Counter(at float64, track string, value float64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: at, Component: track, Name: track, Counter: true, Value: value})
+}
+
+// Begin opens a span identified by (component, name, id). If the open
+// table is full, the stalest open span is evicted and counted leaked.
 func (t *Tracer) Begin(at float64, component, name string, id uint64) {
 	if t == nil {
 		return
 	}
-	t.Emit(at, component, name+":begin", fmt.Sprintf("id=%d", id))
-	t.open[spanKey{component, name, id}] = at
+	key := spanKey{component, name, id}
+	if _, dup := t.open[key]; dup {
+		// Re-Begin of an open span: the earlier one can never match an
+		// End anymore (End would pair with the newest start).
+		t.leaked++
+	} else if len(t.open) >= t.maxOpen {
+		t.evictStalest()
+	}
+	t.open[key] = at
 }
 
-// End closes a span and records its duration under component/name.
+// evictStalest drops the oldest open span and counts it leaked.
+func (t *Tracer) evictStalest() {
+	var oldest spanKey
+	oldestAt := -1.0
+	first := true
+	for k, at := range t.open {
+		if first || at < oldestAt {
+			oldest, oldestAt, first = k, at, false
+		}
+	}
+	if !first {
+		delete(t.open, oldest)
+		t.leaked++
+	}
+}
+
+// End closes a span, records it in the ring, and feeds the per-label
+// duration histogram under component/name.
 func (t *Tracer) End(at float64, component, name string, id uint64) {
 	if t == nil {
 		return
@@ -81,16 +152,56 @@ func (t *Tracer) End(at float64, component, name string, id uint64) {
 	key := spanKey{component, name, id}
 	start, ok := t.open[key]
 	if !ok {
-		t.Emit(at, component, name+":end-unmatched", fmt.Sprintf("id=%d", id))
+		t.record(Event{At: at, Component: component, Name: name + ":end-unmatched",
+			Detail: fmt.Sprintf("id=%d", id)})
 		return
 	}
 	delete(t.open, key)
-	t.Emit(at, component, name+":end", fmt.Sprintf("id=%d dur=%.3gus", id, (at-start)*1e6))
+	t.record(Event{At: start, Component: component, Name: name, Dur: at - start, ID: id})
 	label := component + "/" + name
-	t.durs[label] = append(t.durs[label], at-start)
+	h, ok := t.hists[label]
+	if !ok {
+		h = metrics.NewLatencyHistogram()
+		t.hists[label] = h
+	}
+	h.Record(at - start)
 }
 
-// Events returns the recorded events in chronological order.
+// PurgeOpen drops every open span that began before the given time,
+// counting them leaked. Call at the end of a run to detect Begin calls
+// whose End never fired.
+func (t *Tracer) PurgeOpen(before float64) {
+	if t == nil {
+		return
+	}
+	for k, at := range t.open {
+		if at < before {
+			delete(t.open, k)
+			t.leaked++
+		}
+	}
+}
+
+// OpenSpans reports spans begun but not yet ended.
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.open)
+}
+
+// Leaked reports spans that were opened but could never complete:
+// evicted from a full open table, re-begun while open, or purged.
+func (t *Tracer) Leaked() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.leaked
+}
+
+// Events returns the recorded events in ring order (chronological by
+// record time; a span is recorded when it ends but stamped with its
+// start time).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -112,12 +223,16 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
-// SpanStats summarizes one span label.
+// SpanStats summarizes one span label. Count, Mean and Max are exact;
+// the percentiles carry the histogram's bucket resolution.
 type SpanStats struct {
 	Label string
 	Count int
 	Mean  float64
 	Max   float64
+	P50   float64
+	P99   float64
+	P999  float64
 }
 
 // Spans returns per-label duration summaries, sorted by label.
@@ -125,28 +240,156 @@ func (t *Tracer) Spans() []SpanStats {
 	if t == nil {
 		return nil
 	}
-	out := make([]SpanStats, 0, len(t.durs))
-	for label, ds := range t.durs {
-		s := SpanStats{Label: label, Count: len(ds)}
-		for _, d := range ds {
-			s.Mean += d
-			if d > s.Max {
-				s.Max = d
-			}
-		}
-		s.Mean /= float64(len(ds))
-		out = append(out, s)
+	out := make([]SpanStats, 0, len(t.hists))
+	for label, h := range t.hists {
+		out = append(out, SpanStats{
+			Label: label,
+			Count: int(h.Count()),
+			Mean:  h.Mean(),
+			Max:   h.Max(),
+			P50:   h.P50(),
+			P99:   h.P99(),
+			P999:  h.P999(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
 }
 
-// Dump writes the event log in chronological order.
+// Breakdown is Spans under the name the latency-attribution tables use.
+func (t *Tracer) Breakdown() []SpanStats { return t.Spans() }
+
+// Histogram returns the duration histogram for one span label (nil if
+// the label never completed a span).
+func (t *Tracer) Histogram(label string) *metrics.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hists[label]
+}
+
+// BreakdownTable renders the per-stage latency decomposition.
+func (t *Tracer) BreakdownTable(title string) *metrics.Table {
+	tbl := metrics.NewTable(title, "stage", "count", "mean", "p50", "p99", "max")
+	for _, s := range t.Spans() {
+		tbl.AddRow(s.Label, s.Count,
+			metrics.FormatDuration(s.Mean), metrics.FormatDuration(s.P50),
+			metrics.FormatDuration(s.P99), metrics.FormatDuration(s.Max))
+	}
+	if t != nil && t.leaked > 0 {
+		tbl.AddNote("%d spans leaked (Begin without End)", t.leaked)
+	}
+	return tbl
+}
+
+// Dump writes the event log in ring order.
 func (t *Tracer) Dump(w io.Writer) {
 	for _, ev := range t.Events() {
-		fmt.Fprintf(w, "%12.6fms %-12s %-24s %s\n", ev.At*1e3, ev.Component, ev.Name, ev.Detail)
+		switch {
+		case ev.Counter:
+			fmt.Fprintf(w, "%12.6fms %-12s %-24s %g\n", ev.At*1e3, ev.Component, ev.Name, ev.Value)
+		case ev.Dur > 0:
+			fmt.Fprintf(w, "%12.6fms %-12s %-24s id=%d dur=%.3gus\n",
+				ev.At*1e3, ev.Component, ev.Name, ev.ID, ev.Dur*1e6)
+		default:
+			fmt.Fprintf(w, "%12.6fms %-12s %-24s %s\n", ev.At*1e3, ev.Component, ev.Name, ev.Detail)
+		}
 	}
 	if d := t.Dropped(); d > 0 {
 		fmt.Fprintf(w, "(%d earlier events dropped)\n", d)
 	}
+}
+
+// WriteChromeTrace exports the ring as Chrome trace-event JSON (the
+// "JSON array format"): one track (tid) per component under a single
+// process, spans as matched B/E pairs, instants as "i", counters as
+// "C". Timestamps are virtual microseconds. Output is deterministic:
+// events appear in ring order and tids are assigned in order of first
+// appearance.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	events := t.Events()
+	tids := make(map[string]int)
+	order := []string{}
+	tidOf := func(component string) int {
+		id, ok := tids[component]
+		if !ok {
+			id = len(tids) + 1
+			tids[component] = id
+			order = append(order, component)
+		}
+		return id
+	}
+	for _, ev := range events {
+		tidOf(ev.Component)
+	}
+
+	bw := newErrWriter(w)
+	bw.writeString("[\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.writeString(",\n")
+		}
+		first = false
+		bw.writeString(s)
+	}
+	// Thread-name metadata so Perfetto labels each component track.
+	for _, comp := range order {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			tids[comp], quoteJSON(comp)))
+	}
+	for _, ev := range events {
+		ts := usec(ev.At)
+		tid := tids[ev.Component]
+		switch {
+		case ev.Counter:
+			emit(fmt.Sprintf(`{"name":%s,"ph":"C","pid":1,"tid":%d,"ts":%s,"args":{"value":%s}}`,
+				quoteJSON(ev.Name), tid, ts, jsonFloat(ev.Value)))
+		case ev.Dur > 0:
+			args := fmt.Sprintf(`{"id":%d}`, ev.ID)
+			emit(fmt.Sprintf(`{"name":%s,"ph":"B","pid":1,"tid":%d,"ts":%s,"args":%s}`,
+				quoteJSON(ev.Name), tid, ts, args))
+			emit(fmt.Sprintf(`{"name":%s,"ph":"E","pid":1,"tid":%d,"ts":%s}`,
+				quoteJSON(ev.Name), tid, usec(ev.At+ev.Dur)))
+		default:
+			args := "{}"
+			if ev.Detail != "" {
+				args = fmt.Sprintf(`{"detail":%s}`, quoteJSON(ev.Detail))
+			}
+			emit(fmt.Sprintf(`{"name":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s,"args":%s}`,
+				quoteJSON(ev.Name), tid, ts, args))
+		}
+	}
+	bw.writeString("\n]\n")
+	return bw.err
+}
+
+// usec renders a virtual-seconds timestamp as microseconds with a
+// deterministic shortest decimal representation.
+func usec(sec float64) string { return jsonFloat(sec * 1e6) }
+
+// jsonFloat formats a float deterministically for JSON.
+func jsonFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// quoteJSON escapes a string for JSON (component/stage names are plain
+// ASCII identifiers, so strconv.Quote is sufficient and deterministic).
+func quoteJSON(s string) string { return strconv.Quote(s) }
+
+// errWriter folds write errors so export code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -79,6 +80,181 @@ func TestDump(t *testing.T) {
 	}
 	if !strings.Contains(out, "1 earlier events dropped") {
 		t.Fatalf("dropped note missing:\n%s", out)
+	}
+}
+
+func TestSpanPercentiles(t *testing.T) {
+	tr := New(1 << 12)
+	for i := 0; i < 1000; i++ {
+		tr.Begin(0, "mt", "stage", uint64(i))
+		tr.End(1e-6*float64(i+1), "mt", "stage", uint64(i)) // 1us..1000us
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Count != 1000 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	s := spans[0]
+	if s.P50 < 400e-6 || s.P50 > 600e-6 {
+		t.Fatalf("p50 = %g, want ~500us", s.P50)
+	}
+	if s.P99 < 900e-6 || s.P99 > 1100e-6 {
+		t.Fatalf("p99 = %g, want ~990us", s.P99)
+	}
+	if s.Max != 1000e-6 {
+		t.Fatalf("max = %g, want 1000us exact", s.Max)
+	}
+}
+
+func TestLeakedAndPurge(t *testing.T) {
+	tr := New(64)
+	tr.Begin(1.0, "mt", "write", 1)
+	tr.Begin(1.1, "mt", "write", 2)
+	tr.End(2.0, "mt", "write", 1)
+	if got := tr.Leaked(); got != 0 {
+		t.Fatalf("leaked before purge = %d", got)
+	}
+	if got := tr.OpenSpans(); got != 1 {
+		t.Fatalf("open spans = %d, want 1", got)
+	}
+	tr.PurgeOpen(10.0)
+	if got := tr.Leaked(); got != 1 {
+		t.Fatalf("leaked after purge = %d, want 1", got)
+	}
+	if got := tr.OpenSpans(); got != 0 {
+		t.Fatalf("open spans after purge = %d", got)
+	}
+	// Balanced Begin/End traffic never leaks.
+	tr2 := New(64)
+	for i := 0; i < 1000; i++ {
+		tr2.Begin(float64(i), "c", "s", uint64(i))
+		tr2.End(float64(i)+0.5, "c", "s", uint64(i))
+	}
+	tr2.PurgeOpen(math.Inf(1))
+	if tr2.Leaked() != 0 {
+		t.Fatalf("balanced spans leaked %d", tr2.Leaked())
+	}
+}
+
+func TestOpenTableBounded(t *testing.T) {
+	tr := New(16)
+	tr.maxOpen = 8
+	for i := 0; i < 100; i++ {
+		tr.Begin(float64(i), "c", "orphan", uint64(i))
+	}
+	if got := tr.OpenSpans(); got > 8 {
+		t.Fatalf("open table grew to %d despite maxOpen=8", got)
+	}
+	if tr.Leaked() != 92 {
+		t.Fatalf("leaked = %d, want 92 evictions", tr.Leaked())
+	}
+	// The survivors are the newest spans: ending one still works.
+	tr.End(200, "c", "orphan", 99)
+	if got := tr.Spans(); len(got) != 1 || got[0].Count != 1 {
+		t.Fatalf("newest span lost: %+v", got)
+	}
+}
+
+func TestReBeginCountsLeak(t *testing.T) {
+	tr := New(16)
+	tr.Begin(1, "c", "s", 7)
+	tr.Begin(2, "c", "s", 7) // same key re-begun while open
+	tr.End(3, "c", "s", 7)
+	if tr.Leaked() != 1 {
+		t.Fatalf("re-begin leak = %d, want 1", tr.Leaked())
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || math.Abs(spans[0].Mean-1.0) > 1e-12 {
+		t.Fatalf("span paired with wrong begin: %+v", spans)
+	}
+}
+
+func TestCounterEvents(t *testing.T) {
+	tr := New(16)
+	tr.Counter(0.001, "pslink.mt", 42.5)
+	tr.Counter(0.002, "pslink.mt", 43.5)
+	evs := tr.Events()
+	if len(evs) != 2 || !evs[0].Counter || evs[0].Value != 42.5 {
+		t.Fatalf("counter events = %+v", evs)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := New(64)
+	tr.Begin(1e-6, "mt", "parse", 1)
+	tr.End(2e-6, "mt", "parse", 1)
+	tr.Emit(3e-6, "mt", "drop", "why")
+	tr.Counter(4e-6, "bw", 99)
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var parsed []map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, out)
+	}
+	var phases []string
+	for _, ev := range parsed {
+		phases = append(phases, ev["ph"].(string))
+	}
+	var bCount, eCount int
+	for _, ph := range phases {
+		switch ph {
+		case "B":
+			bCount++
+		case "E":
+			eCount++
+		}
+	}
+	if bCount != 1 || eCount != 1 {
+		t.Fatalf("span not exported as matched B/E pair: phases=%v", phases)
+	}
+	if !strings.Contains(out, `"ph":"C"`) || !strings.Contains(out, `"ph":"i"`) {
+		t.Fatalf("missing counter or instant events:\n%s", out)
+	}
+	if !strings.Contains(out, `"thread_name"`) {
+		t.Fatalf("missing thread metadata:\n%s", out)
+	}
+	// ts of the B event is 1us; E at 2us.
+	for _, ev := range parsed {
+		if ev["ph"] == "B" && ev["ts"].(float64) != 1 {
+			t.Fatalf("B ts = %v, want 1 (virtual us)", ev["ts"])
+		}
+		if ev["ph"] == "E" && ev["ts"].(float64) != 2 {
+			t.Fatalf("E ts = %v, want 2 (virtual us)", ev["ts"])
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() string {
+		tr := New(128)
+		for i := 0; i < 20; i++ {
+			tr.Begin(float64(i)*1e-6, "c", "s", uint64(i))
+			tr.End(float64(i)*1e-6+5e-7, "c", "s", uint64(i))
+			tr.Counter(float64(i)*1e-6, "bw", float64(i)*3.7)
+		}
+		var b strings.Builder
+		if err := tr.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatal("identical traces serialized differently")
+	}
+}
+
+func TestNilTracerExportAndBreakdown(t *testing.T) {
+	var tr *Tracer
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil || strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("nil export = %q err=%v", b.String(), err)
+	}
+	tr.Counter(1, "x", 2)
+	tr.PurgeOpen(1)
+	if tr.Leaked() != 0 || tr.OpenSpans() != 0 || tr.Breakdown() != nil || tr.Histogram("x") != nil {
+		t.Fatal("nil tracer leaked state")
 	}
 }
 
