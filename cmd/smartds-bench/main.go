@@ -30,6 +30,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file covering every cluster run")
 	breakdown := flag.Bool("breakdown", false, "append per-stage latency breakdown tables (fig7, ext-reads)")
+	faultSpec := flag.String("faults", "", "ext-faults campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
 	flag.BoolVar(&csvOut, "csv", false, "emit tables as CSV")
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown, FaultSpec: *faultSpec}
 	if *traceFile != "" {
 		opt.Trace = trace.New(1 << 18)
 	}

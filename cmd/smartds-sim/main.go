@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/faults"
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/trace"
@@ -68,6 +69,7 @@ func main() {
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	breakdown := flag.Bool("breakdown", false, "print per-stage latency attribution tables")
+	faultSpec := flag.String("faults", "", "fault campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
 
 	flag.Parse()
 
@@ -108,10 +110,33 @@ func main() {
 		tracer = trace.New(1 << 18)
 		cfg.Trace = tracer
 	}
+	var sched *faults.Schedule
+	if *faultSpec != "" {
+		var err error
+		sched, err = faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Bounded replication fan-outs so a crashed replica cannot
+		// strand client window slots (see middletier.ReplicateTimeout).
+		if cfg.MT.ReplicateTimeout == 0 {
+			cfg.MT.ReplicateTimeout = 1.5e-3
+		}
+	}
 	c := cluster.New(cfg)
 	if *maintenance {
 		m := c.MT.StartMaintenance(middletier.MaintenanceConfig{}, c.Storage)
 		defer m.Stop()
+	}
+	var inj *faults.Injector
+	if sched != nil {
+		var err error
+		inj, err = c.ApplyFaults(sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	start := time.Now()
@@ -125,6 +150,19 @@ func main() {
 	})
 
 	printResults(c, res)
+	durabilityViolated := false
+	if inj != nil {
+		fmt.Println(inj.Report().String())
+		fmt.Println(inj.Monitor.Stats(sched).Table().String())
+		if cfg.Functional {
+			if err := c.CheckAckedWrites(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				durabilityViolated = true
+			} else {
+				fmt.Println("durability: every acked write readable from a current replica")
+			}
+		}
+	}
 	if *breakdown {
 		spanTbl := metrics.NewTable("request spans", "span", "count", "mean", "p99", "max")
 		for _, s := range tracer.Spans() {
@@ -152,6 +190,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wall time: %s\n", time.Since(start).Round(time.Millisecond))
 
+	if inj != nil {
+		// Under a fault campaign, client-visible errors are honest
+		// refusals (unroutable writes while replicas are dark); what must
+		// hold is data integrity and durability.
+		if res.VerifyMismatches > 0 || durabilityViolated {
+			os.Exit(1)
+		}
+		return
+	}
 	if res.Errors > 0 || res.VerifyMismatches > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,55 @@
+package blockstore
+
+import (
+	"testing"
+)
+
+// FuzzHeaderDecode feeds the wire-header decoder arbitrary bytes.
+// Decode parses what clients and storage servers receive straight off
+// the fabric, so malformed input must produce ErrBadHeader — never a
+// panic — and any header it accepts must survive an encode/decode
+// round trip unchanged.
+func FuzzHeaderDecode(f *testing.F) {
+	seeds := []Header{
+		{Op: OpWrite, Flags: FlagCompressed, Level: 3, VMID: 7, ReqID: 9,
+			SegmentID: 12, ChunkID: 34, BlockOff: 56, PayloadLen: 4096, OrigLen: 4096, CRC: 0xdeadbeef},
+		{Op: OpReadReply, Status: StatusNotFound},
+		{Op: OpReplicate, Flags: FlagLatencySensitive, ReqID: ^uint64(0)},
+		{Op: OpFetchReply, Status: StatusCorrupt, PayloadLen: 1},
+	}
+	for i := range seeds {
+		f.Add(seeds[i].Encode())
+	}
+	f.Add(Message(&Header{Op: OpWrite, VMID: 1}, []byte("block payload")))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize-1)) // one byte short
+	f.Add(make([]byte, HeaderSize))   // zero magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Decode(data)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		back, err := Decode(h.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of an accepted header failed: %v", err)
+		}
+		if back != h {
+			t.Fatalf("header round trip drifted:\n in  %+v\n out %+v", h, back)
+		}
+		// A buffer whose length matches the header's payload claim must
+		// split cleanly; any other length must be rejected.
+		_, payload, err := SplitMessage(data)
+		if int(h.PayloadLen) == len(data)-HeaderSize {
+			if err != nil {
+				t.Fatalf("SplitMessage rejected a consistent message: %v", err)
+			}
+			if len(payload) != int(h.PayloadLen) {
+				t.Fatalf("SplitMessage returned %d payload bytes, header says %d",
+					len(payload), h.PayloadLen)
+			}
+		} else if err == nil {
+			t.Fatalf("SplitMessage accepted a message with a payload-length mismatch")
+		}
+	})
+}

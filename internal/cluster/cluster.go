@@ -142,7 +142,10 @@ type Client struct {
 
 	// onComplete refills the closed-loop window.
 	onComplete func()
-	nextLBA    uint64
+	// completionHook, when set, observes every completion as
+	// (virtual time, latency, errored) — the fault monitor's feed.
+	completionHook func(at, lat float64, err bool)
+	nextLBA        uint64
 	// Read-verification tracking.
 	writtenLBAs []uint64
 	writtenData map[uint64][]byte
@@ -204,6 +207,10 @@ func (cl *Client) onReply(m *rdma.Message) {
 		// The write is durable; reads may target it now (block is nil
 		// for modeled payloads: the read then skips verification).
 		cl.rememberWrite(iss.lba, iss.block)
+	}
+	if cl.completionHook != nil {
+		now := cl.c.Env.Now()
+		cl.completionHook(now, now-iss.at, h.Status != blockstore.StatusOK)
 	}
 	if cl.measuring {
 		cl.Lat.Record(cl.c.Env.Now() - iss.at)

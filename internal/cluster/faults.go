@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/faults"
+	"github.com/disagg/smartds/internal/lz4"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/storage"
+)
+
+// ApplyFaults arms a fault campaign against this cluster and wires
+// every client's completion stream into the injector's recovery
+// monitor. Call before Run; the returned injector's Report and
+// Monitor.Stats summarize the campaign afterwards.
+func (c *Cluster) ApplyFaults(sched *faults.Schedule) (*faults.Injector, error) {
+	inj := faults.New(faults.Target{
+		Env:       c.Env,
+		Fabric:    c.Fabric,
+		MT:        c.MT,
+		Storage:   c.Storage,
+		Trace:     c.cfg.Trace,
+		Seed:      c.cfg.Seed,
+		Reconnect: c.ReconnectTransport,
+	}, sched)
+	if err := inj.Arm(); err != nil {
+		return nil, err
+	}
+	for _, cl := range c.Clients {
+		cl.completionHook = inj.Monitor.OnCompletion
+	}
+	return inj, nil
+}
+
+// ReconnectTransport re-establishes every client<->middle-tier and
+// middle-tier<->storage queue pair whose retry budget was exhausted
+// while an endpoint was dark. Healthy connections are untouched.
+func (c *Cluster) ReconnectTransport() {
+	for i, cl := range c.Clients {
+		local := c.MT.ClientLocalQP(i)
+		if local == nil {
+			continue
+		}
+		if cl.qp.Broken() || local.Broken() {
+			rdma.Reconnect(cl.qp, local)
+		}
+	}
+	for idx, srv := range c.Storage {
+		c.MT.ReconnectStorage(idx, srv)
+	}
+}
+
+// CheckAckedWrites verifies the durability contract the failover tests
+// assert: every write a client saw acknowledged is still readable with
+// the right bytes from at least one replica in the chunk's current
+// placement. It returns nil when the contract holds; the error details
+// the first few violations. Modeled-payload writes (no real bytes) are
+// skipped. LBAs are walked in sorted order so reports are
+// deterministic.
+func (c *Cluster) CheckAckedWrites() error {
+	var violations []string
+	checked := 0
+	for _, cl := range c.Clients {
+		lbas := make([]uint64, 0, len(cl.writtenData))
+		for lba, block := range cl.writtenData {
+			if block != nil {
+				lbas = append(lbas, lba)
+			}
+		}
+		sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+		for _, lba := range lbas {
+			block := cl.writtenData[lba]
+			loc := c.geo.Resolve(lba)
+			set := c.MT.ReplicaSet(loc.SegmentID, loc.ChunkID)
+			checked++
+			if len(set) == 0 {
+				violations = append(violations,
+					fmt.Sprintf("vm%d lba %d: no placement for seg %d chunk %d",
+						cl.id, lba, loc.SegmentID, loc.ChunkID))
+				continue
+			}
+			if !c.blockReadable(loc, set, block) {
+				violations = append(violations,
+					fmt.Sprintf("vm%d lba %d: no replica in %v holds matching bytes",
+						cl.id, lba, set))
+			}
+			if len(violations) >= 8 {
+				return fmt.Errorf("cluster: %d+ acked writes unreadable (checked %d): %v",
+					len(violations), checked, violations)
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("cluster: %d of %d acked writes unreadable: %v",
+			len(violations), checked, violations)
+	}
+	return nil
+}
+
+// blockReadable reports whether any replica in set holds the block's
+// bytes (decoding the stored frame when it was compressed).
+func (c *Cluster) blockReadable(loc blockstore.Location, set []int, block []byte) bool {
+	key := storage.BlockKey{SegmentID: loc.SegmentID, ChunkID: loc.ChunkID, BlockOff: loc.BlockOff}
+	for _, idx := range set {
+		if idx < 0 || idx >= len(c.Storage) {
+			continue
+		}
+		rec, ok := c.Storage[idx].Store().Lookup(key)
+		if !ok || rec.Data == nil {
+			continue
+		}
+		data := rec.Data
+		if rec.Flags&blockstore.FlagCompressed != 0 {
+			orig, err := lz4.DecodeFrame(data)
+			if err != nil {
+				continue
+			}
+			data = orig
+		}
+		if bytes.Equal(data, block) {
+			return true
+		}
+	}
+	return false
+}

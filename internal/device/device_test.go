@@ -305,3 +305,42 @@ func TestFPGAResourceOps(t *testing.T) {
 	}()
 	SmartDSFootprint(0)
 }
+
+func TestEngineDownRejectsWork(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMemory(e, "hbm", MemoryConfig{Capacity: 1 << 20, BytesPerSec: 425e9, AccessLatency: 1e-9})
+	eng := NewLZ4Engine(e, "lz4", m, 12.5e9, 4096)
+	eng.SetDown(true)
+	if !eng.Down() {
+		t.Fatal("engine not reported down")
+	}
+	src := bytes.Repeat([]byte("x"), 4096)
+	var compErr, decErr error
+	e.Go("p", func(p *sim.Proc) {
+		_, compErr = eng.Compress(p, src, lz4.LevelDefault)
+		_, decErr = eng.Decompress(p, src, len(src))
+	})
+	e.Run(0)
+	if compErr != ErrEngineDown || decErr != ErrEngineDown {
+		t.Fatalf("down engine returned %v / %v, want ErrEngineDown", compErr, decErr)
+	}
+	// Restoring the engine brings the codec back.
+	eng.SetDown(false)
+	compErr, decErr = nil, nil
+	var back []byte
+	e.Go("p2", func(p *sim.Proc) {
+		comp, err := eng.Compress(p, src, lz4.LevelDefault)
+		if err != nil {
+			compErr = err
+			return
+		}
+		back, decErr = eng.Decompress(p, comp, len(src))
+	})
+	e.Run(0)
+	if compErr != nil || decErr != nil {
+		t.Fatalf("restored engine errors: %v %v", compErr, decErr)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("restored engine round trip mismatch")
+	}
+}

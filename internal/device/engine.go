@@ -1,10 +1,18 @@
 package device
 
 import (
+	"errors"
+
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/sim"
 	"github.com/disagg/smartds/internal/trace"
 )
+
+// ErrEngineDown reports a job submitted to a failed engine. The fault
+// subsystem marks engines down (SetDown); callers are expected to
+// check first and fall back, so hitting this error means a routing
+// bug, not a modeled condition.
+var ErrEngineDown = errors.New("device: engine is down")
 
 // Engine models one SmartDS hardware engine: a fixed-function unit that
 // fetches input from device memory, processes it at a fixed rate, and
@@ -21,6 +29,7 @@ type Engine struct {
 
 	tr    *trace.Tracer
 	jobID uint64
+	down  bool
 }
 
 // NewEngine creates an engine attached to a device memory.
@@ -59,6 +68,13 @@ func (e *Engine) QueueLen() int { return e.slot.QueueLen() }
 
 // Busy reports whether the engine is processing a job.
 func (e *Engine) Busy() bool { return e.slot.InUse() > 0 }
+
+// SetDown fails (true) or restores (false) the engine. A down engine
+// rejects Compress/Decompress with ErrEngineDown.
+func (e *Engine) SetDown(down bool) { e.down = down }
+
+// Down reports whether the engine is failed.
+func (e *Engine) Down() bool { return e.down }
 
 // Run charges the timing of one engine invocation: fetch inBytes from
 // device memory, process at the engine rate, write outBytes back. The
@@ -108,6 +124,9 @@ func NewLZ4Engine(env *sim.Env, name string, mem *Memory, bytesPerSec float64, m
 // and charges engine timing. It returns a fresh slice with the
 // compressed bytes.
 func (e *LZ4Engine) Compress(p *sim.Proc, src []byte, level lz4.Level) ([]byte, error) {
+	if e.down {
+		return nil, ErrEngineDown
+	}
 	if len(e.dst) < lz4.CompressBound(len(src)) {
 		e.dst = make([]byte, lz4.CompressBound(len(src)))
 	}
@@ -127,6 +146,9 @@ func (e *LZ4Engine) Compress(p *sim.Proc, src []byte, level lz4.Level) ([]byte, 
 // and charges engine timing (decompression runs at the same engine
 // rate; it is not the bottleneck in any experiment).
 func (e *LZ4Engine) Decompress(p *sim.Proc, src []byte, origSize int) ([]byte, error) {
+	if e.down {
+		return nil, ErrEngineDown
+	}
 	out, err := lz4.DecompressToBuf(src, origSize)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,9 @@ type Options struct {
 	// Breakdown appends per-stage latency-attribution tables to the
 	// experiments that support them (fig7, ext-reads).
 	Breakdown bool
+	// FaultSpec overrides the ext-faults campaign schedule (see
+	// internal/faults for the grammar). Empty uses DefaultFaultSpec.
+	FaultSpec string
 }
 
 // DefaultOptions returns full-fidelity settings.

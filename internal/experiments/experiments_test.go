@@ -11,8 +11,21 @@ import (
 
 func quickOpts() Options { return Options{Quick: true, Seed: 42} }
 
+// skipInShort gates the full-load driver tests: each one runs real
+// cluster workloads for tens of seconds, and race instrumentation
+// multiplies that several-fold. Short mode (which the race CI step
+// uses) keeps the fast calibration tests; the concurrency these
+// drivers exercise is race-tested directly in internal/cluster,
+// internal/middletier, and internal/rdma.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-load driver run; skipped in short mode")
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ext-failover", "ext-reads", "fig10", "fig4", "fig7", "fig8", "fig9", "sec55", "table1", "table3"}
+	want := []string{"ext-failover", "ext-faults", "ext-reads", "fig10", "fig4", "fig7", "fig8", "fig9", "sec55", "table1", "table3"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("experiments registered: %v", got)
@@ -71,6 +84,7 @@ func TestFig4PressureShape(t *testing.T) {
 }
 
 func TestFig7HeadlineShapes(t *testing.T) {
+	skipInShort(t)
 	opt := quickOpts()
 	cpu2 := opt.runFig7Point(fig7Config{middletier.CPUOnly, 2, "", 16})
 	cpu48 := opt.runFig7Point(fig7Config{middletier.CPUOnly, 48, "", 8 * 48})
@@ -106,6 +120,7 @@ func TestFig7HeadlineShapes(t *testing.T) {
 }
 
 func TestFig10LinearScaling(t *testing.T) {
+	skipInShort(t)
 	opt := quickOpts()
 	r1 := opt.runFig10Point(1)
 	r2 := opt.runFig10Point(2)
@@ -120,6 +135,7 @@ func TestFig10LinearScaling(t *testing.T) {
 }
 
 func TestFig9IsolationShape(t *testing.T) {
+	skipInShort(t)
 	// Under full MLC pressure, CPU-only loses significant throughput;
 	// SmartDS barely changes. Run the minimal two-point version inline.
 	opt := quickOpts()
@@ -131,6 +147,7 @@ func TestFig9IsolationShape(t *testing.T) {
 }
 
 func TestSec55TableShape(t *testing.T) {
+	skipInShort(t)
 	tbl := Sec55(quickOpts())
 	out := tbl.String()
 	if !strings.Contains(out, "cards") || !strings.Contains(out, "speedup over CPU-only") {
@@ -139,9 +156,7 @@ func TestSec55TableShape(t *testing.T) {
 }
 
 func TestRunAllQuickProducesTables(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full suite in long mode only")
-	}
+	skipInShort(t)
 	tables := RunAll(quickOpts())
 	if len(tables) < 10 {
 		t.Fatalf("RunAll produced %d tables", len(tables))
@@ -154,6 +169,7 @@ func TestRunAllQuickProducesTables(t *testing.T) {
 }
 
 func TestExtFailoverZeroErrors(t *testing.T) {
+	skipInShort(t)
 	tbl := ExtFailover(quickOpts())
 	out := tbl.String()
 	if !strings.Contains(out, "server 0 down") || !strings.Contains(out, "recovered") {
@@ -173,6 +189,7 @@ func TestExtFailoverZeroErrors(t *testing.T) {
 }
 
 func TestExtReadsServesBothOps(t *testing.T) {
+	skipInShort(t)
 	tbl := ExtReads(quickOpts())
 	if len(tbl.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tbl.Rows))

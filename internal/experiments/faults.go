@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/faults"
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/middletier"
+)
+
+// DefaultFaultSpec is the ext-faults campaign: client-link loss, a
+// storage-server crash with rebuild, a degraded storage link, a
+// compression-engine outage, and a short middle-tier restart — spread
+// out so each fault's recovery is visible in isolation.
+const DefaultFaultSpec = "loss:vm0->mt@4ms+6ms:0.03;" +
+	"crash:ss1@8ms+6ms;" +
+	"degrade:ss2@16ms+4ms:0.25;" +
+	"engine:mt@21ms+3ms;" +
+	"restart:mt@26ms+1.5ms"
+
+// faultReplicateTimeout bounds replication fan-outs under faults (see
+// middletier.Config.ReplicateTimeout); 1.5 ms sits well above healthy
+// fan-out latency and below the client's patience.
+const faultReplicateTimeout = 1.5e-3
+
+// ExtFaults replays one deterministic fault campaign against all four
+// middle-tier designs under identical load and reports how each
+// degrades and recovers. Same seed + same spec reproduces every table
+// byte for byte.
+func ExtFaults(opt Options) []*metrics.Table {
+	spec := opt.FaultSpec
+	if spec == "" {
+		spec = DefaultFaultSpec
+	}
+	sched, err := faults.Parse(spec)
+	if err != nil {
+		t := metrics.NewTable("Extension: fault campaign", "error")
+		t.AddRow(err.Error())
+		return []*metrics.Table{t}
+	}
+
+	tbl := metrics.NewTable(
+		"Extension: fault campaign across middle-tier designs",
+		"config", "throughput", "p99", "errors", "degraded", "retries",
+		"rebuild", "reroute", "max gap")
+
+	// The window must cover the whole campaign plus recovery tail.
+	warm := 2e-3
+	meas := 12e-3
+	if end := sched.LastEnd() + 6e-3 - warm; end > meas {
+		meas = end
+	}
+	// Quick mode trades load for wall time; the faults still bite, the
+	// saturation point just is not probed.
+	window := 128
+	if opt.Quick {
+		window = 32
+	}
+
+	var sdsStats faults.Stats
+	var sdsReport *metrics.Table
+	for _, kind := range []middletier.Kind{
+		middletier.CPUOnly, middletier.Accel, middletier.BF2, middletier.SmartDS,
+	} {
+		c := opt.newCluster(kind, func(cc *cluster.Config) {
+			cc.NumStorage = 5 // room to lose one and still place 3 replicas
+			cc.MT.ReplicateTimeout = faultReplicateTimeout
+		})
+		inj, err := c.ApplyFaults(sched)
+		if err != nil {
+			tbl.AddRow(kind.String(), "arm failed: "+err.Error(), "", "", "", "", "", "", "")
+			continue
+		}
+		res := c.Run(cluster.Workload{Window: window, Warmup: warm, Measure: meas})
+		stats := inj.Monitor.Stats(sched)
+
+		reroute := "-"
+		for _, r := range stats.Recoveries {
+			if r.Event.Kind == faults.Crash {
+				if r.TimeToRecover >= 0 {
+					reroute = us(r.TimeToRecover)
+				} else {
+					reroute = "never"
+				}
+				break
+			}
+		}
+		tbl.AddRow(kind.String(), gbps(res.Throughput), us(res.Lat.P99), res.Errors,
+			c.MT.Degraded, c.MT.ReplicateRetries,
+			fmt.Sprintf("%.0f KB", c.MT.RebuildBytes/1e3),
+			reroute, us(stats.MaxGap))
+
+		if opt.functional() {
+			if derr := c.CheckAckedWrites(); derr != nil {
+				tbl.AddNote("%s DURABILITY VIOLATION: %v", kind, derr)
+			}
+		}
+		if kind == middletier.SmartDS {
+			sdsStats = stats
+			sdsReport = inj.Report()
+		}
+	}
+
+	tbl.AddNote("campaign: %s", sched)
+	tbl.AddNote("identical schedule, seed, and load per design; replicate timeout %s", us(faultReplicateTimeout))
+	if opt.functional() {
+		tbl.AddNote("durability verified: every acked write readable from a current replica (violations would be flagged above)")
+	} else {
+		tbl.AddNote("quick mode models payloads; run without -quick for byte-level durability verification")
+	}
+
+	out := []*metrics.Table{tbl}
+	if sdsReport != nil {
+		out = append(out, sdsReport)
+		st := sdsStats.Table()
+		out = append(out, st)
+	}
+	return out
+}

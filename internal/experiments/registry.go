@@ -22,10 +22,10 @@ var registry = map[string]Runner{
 		}
 		return out
 	},
-	"fig8":   Fig8,
-	"fig9":   func(o Options) []*metrics.Table { return []*metrics.Table{Fig9(o)} },
-	"fig10":  func(o Options) []*metrics.Table { return []*metrics.Table{Fig10(o)} },
-	"sec55":  func(o Options) []*metrics.Table { return []*metrics.Table{Sec55(o)} },
+	"fig8":  Fig8,
+	"fig9":  func(o Options) []*metrics.Table { return []*metrics.Table{Fig9(o)} },
+	"fig10": func(o Options) []*metrics.Table { return []*metrics.Table{Fig10(o)} },
+	"sec55": func(o Options) []*metrics.Table { return []*metrics.Table{Sec55(o)} },
 	// Extensions beyond the paper's evaluation.
 	"ext-reads": func(o Options) []*metrics.Table {
 		out := []*metrics.Table{ExtReads(o)}
@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 		return out
 	},
 	"ext-failover": func(o Options) []*metrics.Table { return []*metrics.Table{ExtFailover(o)} },
+	"ext-faults":   ExtFaults,
 }
 
 // Names lists the available experiment ids in stable order.

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/rng"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// Loss rules live behind one chained fabric LossFn: every rule has a
+// virtual-time window and source/destination address sets, and a
+// per-rule deterministic PRNG — message order in the sim is
+// deterministic, so drop decisions replay exactly.
+
+type lossModel interface {
+	drop() bool
+}
+
+// blockAll is the crash/restart model: the port is dark.
+type blockAll struct{}
+
+func (blockAll) drop() bool { return true }
+
+// bernoulli drops each message independently with probability p.
+type bernoulli struct {
+	p float64
+	r *rng.Source
+}
+
+func (b *bernoulli) drop() bool { return b.r.Float64() < b.p }
+
+// gilbertElliott is the classic two-state burst-loss model: the link
+// flips between a good state (lossless) and a bad state where each
+// message drops with probability p. Transition probabilities are fixed
+// so param keeps the single-knob grammar; the expected bad-state dwell
+// is 1/leaveBad messages.
+type gilbertElliott struct {
+	p   float64 // drop probability inside a burst
+	bad bool
+	r   *rng.Source
+}
+
+const (
+	geEnterBad = 0.02 // per-message chance a burst starts
+	geLeaveBad = 0.15 // per-message chance a burst ends
+)
+
+func (g *gilbertElliott) drop() bool {
+	if g.bad {
+		if g.r.Float64() < geLeaveBad {
+			g.bad = false
+		}
+	} else if g.r.Float64() < geEnterBad {
+		g.bad = true
+	}
+	return g.bad && g.r.Float64() < g.p
+}
+
+// lossRule is one active drop window.
+type lossRule struct {
+	start, end float64
+	// src/dst restrict the rule to matching endpoints; nil = wildcard.
+	src, dst map[netsim.Addr]bool
+	model    lossModel
+}
+
+func (r *lossRule) matches(now float64, m *netsim.Message) bool {
+	if now < r.start || now >= r.end {
+		return false
+	}
+	if r.src != nil && !r.src[m.Src] {
+		return false
+	}
+	if r.dst != nil && !r.dst[m.Dst] {
+		return false
+	}
+	return true
+}
+
+// lossSet owns the rules and the chained LossFn.
+type lossSet struct {
+	env   *sim.Env
+	rules []*lossRule
+}
+
+// install chains the rule set onto the fabric, preserving any
+// previously installed predicate (e.g. a test's own injector).
+func (ls *lossSet) install(f *netsim.Fabric) {
+	prev := f.LossFn()
+	f.SetLossFn(func(m *netsim.Message) bool {
+		if prev != nil && prev(m) {
+			return true
+		}
+		now := ls.env.Now()
+		for _, r := range ls.rules {
+			if r.matches(now, m) && r.model.drop() {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func addrSet(addrs []netsim.Addr) map[netsim.Addr]bool {
+	if len(addrs) == 0 {
+		return nil
+	}
+	set := make(map[netsim.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		set[a] = true
+	}
+	return set
+}

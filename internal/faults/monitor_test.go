@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// almost compares virtual-time floats with a tolerance well below any
+// interval the monitor reports.
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMonitorStats(t *testing.T) {
+	sched := MustParse("crash:ss0@10ms+5ms")
+	var m Monitor
+
+	// Steady pre-fault service: one completion every 100 us at 50 us
+	// latency, from 1 ms to 10 ms.
+	for at := 1e-3; at < 10e-3; at += 100e-6 {
+		m.OnCompletion(at, 50e-6, false)
+	}
+	// The fault opens a 2 ms completion gap, then service resumes with
+	// elevated latency for 1 ms before settling.
+	m.OnCompletion(12e-3, 400e-6, false)   // first post-fault success
+	m.OnCompletion(12.5e-3, 400e-6, false) // still elevated (> 3x baseline)
+	m.OnCompletion(13e-3, 60e-6, false)    // settled
+	m.OnCompletion(14e-3, 60e-6, false)
+	m.OnCompletion(14.1e-3, 60e-6, true) // one failed completion
+
+	st := m.Stats(sched)
+
+	if !almost(st.BaselineP99, 50e-6) {
+		t.Fatalf("BaselineP99 = %v, want 50us", st.BaselineP99)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Errors)
+	}
+	if len(st.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %d, want 1", len(st.Recoveries))
+	}
+	// First success at/after the 10 ms fault start is at 12 ms.
+	if ttr := st.Recoveries[0].TimeToRecover; !almost(ttr, 2e-3) {
+		t.Fatalf("TimeToRecover = %v, want 2ms", ttr)
+	}
+	// Widest gap: fault start (10 ms) to first completion (12 ms).
+	if !almost(st.MaxGap, 2e-3) {
+		t.Fatalf("MaxGap = %v, want 2ms", st.MaxGap)
+	}
+	if st.Unavailable < st.MaxGap {
+		t.Fatalf("Unavailable %v < MaxGap %v", st.Unavailable, st.MaxGap)
+	}
+	// Latency above 3x50us spans 12 ms..13 ms.
+	if !almost(st.ElevatedWindow, 1e-3) {
+		t.Fatalf("ElevatedWindow = %v, want 1ms", st.ElevatedWindow)
+	}
+}
+
+func TestMonitorNeverRecovers(t *testing.T) {
+	sched := MustParse("crash:ss0@5ms+5ms")
+	var m Monitor
+	m.OnCompletion(1e-3, 50e-6, false) // only pre-fault traffic
+	st := m.Stats(sched)
+	if len(st.Recoveries) != 1 || st.Recoveries[0].TimeToRecover >= 0 {
+		t.Fatalf("want negative TimeToRecover, got %+v", st.Recoveries)
+	}
+}
+
+func TestParseEmptySpec(t *testing.T) {
+	sched, err := Parse("")
+	if err != nil || len(sched.Events) != 0 {
+		t.Fatalf("Parse(\"\") = %v, %v; want empty schedule", sched.Events, err)
+	}
+}

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "loss:vm0->mt@4ms+6ms:0.03;" +
+		"crash:ss1@8ms+6ms;" +
+		"degrade:ss2@16ms+4ms:0.25;" +
+		"engine:mt@21ms+3ms;" +
+		"restart:mt@26ms+1.5ms"
+	sched, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(sched.Events) != 5 {
+		t.Fatalf("got %d events, want 5", len(sched.Events))
+	}
+	// String() must re-parse to an identical schedule.
+	again, err := Parse(sched.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", sched.String(), err)
+	}
+	if got, want := again.String(), sched.String(); got != want {
+		t.Fatalf("round trip drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestParseSortsByStart(t *testing.T) {
+	sched := MustParse("crash:ss1@8ms+2ms;loss:*@1ms+2ms:0.1;engine:mt@4ms+1ms")
+	for i := 1; i < len(sched.Events); i++ {
+		if sched.Events[i].Start < sched.Events[i-1].Start {
+			t.Fatalf("events not sorted by start: %v", sched.Events)
+		}
+	}
+	if sched.Events[0].Kind != Loss {
+		t.Fatalf("first event should be the 1ms loss, got %v", sched.Events[0])
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sched := MustParse("loss:vm0->mt@1ms+1ms;degrade:ss0@2ms+1ms;burstloss:mt->ss0@3ms+1ms")
+	if p := sched.Events[0].Param; p != 0.05 {
+		t.Fatalf("loss default param = %v, want 0.05", p)
+	}
+	if p := sched.Events[1].Param; p != 0.5 {
+		t.Fatalf("degrade default param = %v, want 0.5", p)
+	}
+	if p := sched.Events[2].Param; p != 0.05 {
+		t.Fatalf("burstloss default param = %v, want 0.05", p)
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	sched := MustParse("crash:ss0@2ms+3ms;loss:*@10ms+5ms:0.1")
+	if got := sched.FirstStart(); got != 2e-3 {
+		t.Fatalf("FirstStart = %v, want 2ms", got)
+	}
+	if got := sched.LastEnd(); got != 15e-3 {
+		t.Fatalf("LastEnd = %v, want 15ms", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"meteor:ss0@1ms+1ms", "unknown fault kind"},
+		{"crash:ss0", "missing @start"},
+		{"crash:ss0@1ms", "missing +duration"},
+		{"crash:@1ms+1ms", "empty target"},
+		{"crash:ss0@zebra+1ms", "bad start"},
+		{"crash:ss0@1ms+zebra", "bad duration"},
+		{"crash:ss0@-1ms+1ms", "start >= 0"},
+		{"crash:ss0@1ms+0s", "duration > 0"},
+		{"loss:vm0->mt@1ms+1ms:1.5", "loss probability"},
+		{"loss:vm0->mt@1ms+1ms:-0.1", "loss probability"},
+		{"degrade:ss0@1ms+1ms:-0.5", "rate fraction"},
+		{"degrade:ss0@1ms+1ms:1.5", "rate fraction"},
+		{"crash:*@1ms+1ms", "wildcard"},
+		{"crash:ss0@1ms+1ms:0.5", "takes no param"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) = nil error, want one mentioning %q", tc.spec, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Crash; k <= Restart; k++ {
+		name := k.String()
+		back, ok := kindByName[name]
+		if !ok || back != k {
+			t.Fatalf("kind %d name %q does not round-trip", k, name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package lz4
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/corpus"
+)
+
+// FuzzDecodeFrame hammers the frame decoder with arbitrary bytes. The
+// decoder sits on the storage read path directly behind the network,
+// so it must reject any malformed frame with an error — never panic,
+// never over-read — and any frame it accepts must satisfy the header's
+// own size and checksum claims.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with real frames over every corpus class (text through
+	// incompressible random), plus truncations and corruptions of each.
+	c := corpus.New(7, corpus.WithStreamSize(16<<10))
+	for _, class := range corpus.Classes() {
+		src := c.BlockOf(class, 4096)
+		frame, err := EncodeFrame(src, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2]) // truncated mid-payload
+		f.Add(frame[:FrameHeaderSize])
+		bad := append([]byte(nil), frame...)
+		bad[FrameHeaderSize] ^= 0xff // corrupt the compressed stream
+		f.Add(bad)
+	}
+	empty, err := EncodeFrame(nil, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeFrame(data)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		fi, err := ParseFrameHeader(data)
+		if err != nil {
+			t.Fatalf("DecodeFrame accepted a frame ParseFrameHeader rejects: %v", err)
+		}
+		if len(out) != fi.OrigSize {
+			t.Fatalf("decoded %d bytes but the header claims %d", len(out), fi.OrigSize)
+		}
+		if Checksum(out) != fi.CRC {
+			t.Fatal("decoded bytes do not match the frame checksum")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks the encoder/decoder pair from the other
+// side: every input, at every level, must survive a compress+frame →
+// decode cycle byte for byte.
+func FuzzFrameRoundTrip(f *testing.F) {
+	c := corpus.New(7, corpus.WithStreamSize(16<<10))
+	for _, class := range corpus.Classes() {
+		f.Add(c.BlockOf(class, 1024), uint8(3))
+	}
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte("a"), uint8(9))
+
+	f.Fuzz(func(t *testing.T, src []byte, lvl uint8) {
+		level := Level(lvl%9) + 1
+		frame, err := EncodeFrame(src, level)
+		if err != nil {
+			t.Fatalf("EncodeFrame(level %d): %v", level, err)
+		}
+		out, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("DecodeFrame of a fresh frame: %v", err)
+		}
+		if string(out) != string(src) {
+			t.Fatalf("round trip drifted: %d bytes in, %d bytes out", len(src), len(out))
+		}
+	})
+}

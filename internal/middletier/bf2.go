@@ -56,11 +56,18 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	var frameSize float64
 	flags := uint8(0)
 	tr.Begin(p.Now(), "mt", "compress", tid)
-	if bypass {
+	switch {
+	case bypass:
 		s.BypassHits++
 		frame = req.payload
 		frameSize = req.size
-	} else {
+	case !s.engineAvailable(0):
+		// The SoC engine failed: store raw — the Arm cores have no
+		// spare cycles for software LZ4, so availability wins.
+		s.EngineFallbacks++
+		frame = req.payload
+		frameSize = req.size
+	default:
 		// The engine reads and writes SoC DRAM itself (device.Engine
 		// charges both inside Run).
 		if req.payload != nil {
@@ -78,41 +85,42 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	}
 	tr.End(p.Now(), "mt", "compress", tid)
 
-	repID, pr := s.newPending(s.cfg.Replicas)
-	rh := blockstore.Header{
-		Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
-		VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
-		ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
-		OrigLen: uint32(req.size), CRC: req.hdr.CRC,
-	}
-	var msg []byte
-	if frame != nil {
-		msg = blockstore.Message(&rh, frame)
-	} else {
-		rh.PayloadLen = uint32(frameSize)
-		msg = rh.Encode()
-	}
-	msgSize := blockstore.HeaderSize + frameSize
-
 	// Which port's storage QPs: same port the client is bound to.
 	path := s.bf2PathOf(clientQP)
 	tr.Begin(p.Now(), "mt", "replicate", tid)
-	for _, idx := range s.replicasFor(req.hdr) {
-		qp := s.storagePaths[path][idx]
-		// Network-out: read the frame from SoC DRAM per replica.
-		s.bf2Mem.Access(p, msgSize)
-		qp.SendSized(msg, msgSize)
-	}
-	p.Wait(pr.done)
+	stored := 0
+	status := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
+		rh := blockstore.Header{
+			Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
+			VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
+			ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+			OrigLen: uint32(req.size), CRC: req.hdr.CRC,
+		}
+		var msg []byte
+		if frame != nil {
+			msg = blockstore.Message(&rh, frame)
+		} else {
+			rh.PayloadLen = uint32(frameSize)
+			msg = rh.Encode()
+		}
+		msgSize := blockstore.HeaderSize + frameSize
+		stored = len(set)
+		for _, idx := range set {
+			qp := s.storagePaths[path][idx]
+			// Network-out: read the frame from SoC DRAM per replica.
+			s.bf2Mem.Access(p, msgSize)
+			qp.SendSized(msg, msgSize)
+		}
+	})
 	tr.End(p.Now(), "mt", "replicate", tid)
 
 	tr.Begin(p.Now(), "mt", "ack", tid)
-	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: status}
 	tr.End(p.Now(), "mt", "ack", tid)
 	tr.Begin(p.Now(), "net", "reply", tid)
 	clientQP.Send(reply.Encode())
 	s.WritesDone++
-	s.BytesStored += frameSize * float64(s.cfg.Replicas)
+	s.BytesStored += frameSize * float64(stored)
 }
 
 func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
@@ -122,13 +130,20 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	arm.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
 
+	path := s.bf2PathOf(clientQP)
+	idx, ok := s.readReplicaFor(req.hdr)
+	if !ok {
+		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+		tr.Begin(p.Now(), "net", "reply", tid)
+		clientQP.Send(reply.Encode())
+		s.ReadsDone++
+		return
+	}
 	repID, pr := s.newPending(1)
 	fh := blockstore.Header{
 		Op: blockstore.OpFetch, ReqID: repID,
 		SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
 	}
-	path := s.bf2PathOf(clientQP)
-	idx := s.readReplicaFor(req.hdr)
 	tr.Begin(p.Now(), "mt", "fetch", tid)
 	s.storagePaths[path][idx].Send(fh.Encode())
 	p.Wait(pr.done)

@@ -1,0 +1,221 @@
+package middletier
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/rdma"
+	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/storage"
+)
+
+// This file is the middle tier's failure-handling plane: bounded-retry
+// replication, compression-engine fail-over, transport reconnects, and
+// crashed-server rebuild. The data paths (hostpaths.go, bf2.go,
+// smartds.go) call into it; the fault injector (internal/faults) and
+// the failover tests drive it from outside.
+
+// maxReplicateAttempts bounds how many times one write's fan-out is
+// re-issued before the client gets an error. Each retry refreshes the
+// replica set, so a crashed server is routed around on the second
+// attempt; repeated failure means the cluster itself is unhealthy.
+const maxReplicateAttempts = 4
+
+// replicateWait runs one write's replication fan-out with timeout and
+// retry. send must issue the replicate message to every server in set,
+// tagged with repID, through whatever front end the design has; it may
+// be called several times, each with a fresh repID and a (possibly
+// refreshed) replica set. The returned status is what the client ack
+// carries.
+func (s *Server) replicateWait(p *sim.Proc, hdr blockstore.Header, frameSize float64,
+	send func(repID uint64, set []int)) blockstore.Status {
+	for attempt := 0; attempt < maxReplicateAttempts; attempt++ {
+		set := s.replicasFor(hdr)
+		if len(set) == 0 {
+			// No reachable replica at all: fail the write rather than
+			// blocking the client forever.
+			return blockstore.StatusError
+		}
+		if attempt > 0 {
+			s.ReplicateRetries++
+			s.RetryBytes += frameSize * float64(len(set))
+		}
+		repID, pr := s.newPending(len(set))
+		send(repID, set)
+		if s.cfg.ReplicateTimeout <= 0 {
+			p.Wait(pr.done)
+			return pr.status
+		}
+		if _, ok := p.WaitTimeout(pr.done, s.cfg.ReplicateTimeout); ok {
+			return pr.status
+		}
+		// Timed out: orphan this fan-out — completePending ignores acks
+		// for deleted ids, so stragglers from slow-but-alive replicas are
+		// harmless (the storage write is idempotent: a later retry just
+		// appends a newer version) — and go around with a refreshed set.
+		delete(s.pending, repID)
+		s.cfg.Trace.Emit(p.Now(), "mt", "replicate-timeout",
+			fmt.Sprintf("attempt=%d replicas=%d", attempt+1, len(set)))
+	}
+	return blockstore.StatusError
+}
+
+// SetEngineDown fails (true) or restores (false) a compression engine:
+// index 0 for the Accel card and the BF2 SoC engine, the port index
+// for SmartDS's per-port engines.
+func (s *Server) SetEngineDown(port int, down bool) {
+	if port < 0 || port >= len(s.engineDown) {
+		return
+	}
+	s.engineDown[port] = down
+	// Mirror the failure onto the device engine itself so a routing bug
+	// that submits work to a failed engine surfaces as ErrEngineDown
+	// instead of silently compressing.
+	switch {
+	case s.bf2Engine != nil && port == 0:
+		s.bf2Engine.SetDown(down)
+	case s.sds != nil:
+		if inst, err := s.sds.OpenRoCEInstance(port); err == nil {
+			inst.Engine().SetDown(down)
+		}
+	}
+}
+
+// engineAvailable reports whether the engine at idx is serving.
+func (s *Server) engineAvailable(idx int) bool {
+	return idx >= 0 && idx < len(s.engineDown) && !s.engineDown[idx]
+}
+
+// altEnginePort finds a surviving SmartDS engine to reroute compression
+// to when the request's own port engine is down; -1 when none is left.
+func (s *Server) altEnginePort(down int) int {
+	for i := range s.engineDown {
+		if i != down && !s.engineDown[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Addrs returns the middle tier's fabric addresses — the ports a fault
+// injector targets for loss or degradation on "mt".
+func (s *Server) Addrs() []netsim.Addr {
+	switch s.cfg.Kind {
+	case CPUOnly, Accel:
+		return []netsim.Addr{"mt-nic"}
+	case BF2:
+		out := make([]netsim.Addr, 0, len(s.bf2Stacks))
+		for _, st := range s.bf2Stacks {
+			out = append(out, st.Addr())
+		}
+		return out
+	case SmartDS:
+		out := make([]netsim.Addr, 0, s.cfg.Ports)
+		for i := 0; i < s.cfg.Ports; i++ {
+			out = append(out, netsim.Addr(fmt.Sprintf("%s-p%d", s.sds.Name(), i)))
+		}
+		return out
+	}
+	return nil
+}
+
+// ReplicaSet returns a copy of the recorded placement for one chunk
+// (empty when the chunk was never written through this server). The
+// durability checker walks it to find which stores must hold a block.
+func (s *Server) ReplicaSet(seg uint64, chunk uint32) []int {
+	set := s.placement[chunkKey{seg: seg, chunk: chunk}]
+	out := make([]int, len(set))
+	copy(out, set)
+	return out
+}
+
+// ClientLocalQP returns the middle-tier side of client connection i (in
+// ConnectClient order) so the transport layer can be reconnected after
+// a middle-tier restart.
+func (s *Server) ClientLocalQP(i int) *rdma.QP {
+	if i < 0 || i >= len(s.clientLocals) {
+		return nil
+	}
+	return s.clientLocals[i]
+}
+
+// ClientConns returns how many client connections are attached.
+func (s *Server) ClientConns() int { return len(s.clientLocals) }
+
+// ReconnectStorage re-establishes every transport path to storage
+// server idx whose QP broke while the server was dark (retry budget
+// exhausted during a crash window). Both ends reset to a common new
+// epoch; unbroken paths are left untouched.
+func (s *Server) ReconnectStorage(idx int, srv *storage.Server) {
+	for pi := range s.storagePaths {
+		if idx < 0 || idx >= len(s.storagePaths[pi]) {
+			continue
+		}
+		local := s.storagePaths[pi][idx]
+		peer := srv.Stack().QP(local.Remote().QPN)
+		if peer == nil {
+			continue
+		}
+		if local.Broken() || peer.Broken() {
+			rdma.Reconnect(local, peer)
+		}
+	}
+}
+
+// RebuildServer streams surviving replicas' chunk snapshots into a
+// recovered server's empty store (the re-replication phase of
+// fail-over). It charges the transfer at the middle tier's port rate
+// and returns the snapshot bytes moved. Chunks are rebuilt in sorted
+// (segment, chunk) order so same-seed runs replay identically.
+func (s *Server) RebuildServer(p *sim.Proc, idx int, servers []*storage.Server) float64 {
+	var keys []chunkKey
+	for key, set := range s.placement {
+		for _, m := range set {
+			if m == idx {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].seg != keys[j].seg {
+			return keys[i].seg < keys[j].seg
+		}
+		return keys[i].chunk < keys[j].chunk
+	})
+	dst := servers[idx].Store()
+	total := 0.0
+	rebuilt := 0
+	for _, key := range keys {
+		var src *storage.Server
+		for _, m := range s.placement[key] {
+			if m != idx && m >= 0 && m < len(servers) && !servers[m].Down() {
+				src = servers[m]
+				break
+			}
+		}
+		if src == nil {
+			continue // no surviving replica: data loss, nothing to stream
+		}
+		var buf bytes.Buffer
+		n, err := src.Store().SnapshotChunk(&buf, key.seg, key.chunk, s.cfg.Level)
+		if err != nil {
+			continue
+		}
+		if _, err := dst.RestoreSnapshot(&buf); err != nil {
+			continue
+		}
+		total += float64(n)
+		rebuilt++
+	}
+	if total > 0 {
+		p.Sleep(total / s.cfg.PortRate)
+	}
+	s.RebuildBytes += total
+	s.cfg.Trace.Emit(p.Now(), "mt", "rebuild",
+		fmt.Sprintf("server=%d chunks=%d bytes=%.0f", idx, rebuilt, total))
+	return total
+}

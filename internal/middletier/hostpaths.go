@@ -129,6 +129,13 @@ func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
 		frame, frameSize = s.softwareCompressLeveled(core, req, level)
 		s.Mem.Write(p, frameSize)
 		flags = blockstore.FlagCompressed
+	case !s.engineAvailable(0): // Accel, card failed
+		// Store raw rather than stall the write path: software LZ4 on
+		// the control cores would collapse throughput, so availability
+		// wins and the frame goes out uncompressed.
+		s.EngineFallbacks++
+		frame = req.payload
+		frameSize = req.size
 	default: // Accel
 		frame, frameSize = s.accelCompress(p, core, req)
 		flags = blockstore.FlagCompressed
@@ -183,44 +190,45 @@ func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byt
 // acks, and replies success to the client. Used by CPUOnly and Accel
 // (the NIC path); BF2 and SmartDS have their own senders.
 func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, frame []byte, frameSize float64, flags uint8) {
-	repID, pr := s.newPending(s.cfg.Replicas)
-	rh := blockstore.Header{
-		Op:        blockstore.OpReplicate,
-		Flags:     flags,
-		ReqID:     repID,
-		VMID:      req.hdr.VMID,
-		SegmentID: req.hdr.SegmentID,
-		ChunkID:   req.hdr.ChunkID,
-		BlockOff:  req.hdr.BlockOff,
-		OrigLen:   uint32(req.size),
-		CRC:       req.hdr.CRC,
-	}
-	var msg []byte
-	if frame != nil {
-		msg = blockstore.Message(&rh, frame)
-	} else {
-		rh.PayloadLen = uint32(frameSize)
-		msg = rh.Encode()
-	}
-	msgSize := blockstore.HeaderSize + frameSize
-
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace
 	tr.Begin(p.Now(), "mt", "replicate", tid)
-	for _, idx := range s.replicasFor(req.hdr) {
-		qp := s.storagePaths[0][idx]
-		s.nic.Send(qp, msg, msgSize)
-	}
-	p.Wait(pr.done)
+	stored := 0
+	status := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
+		rh := blockstore.Header{
+			Op:        blockstore.OpReplicate,
+			Flags:     flags,
+			ReqID:     repID,
+			VMID:      req.hdr.VMID,
+			SegmentID: req.hdr.SegmentID,
+			ChunkID:   req.hdr.ChunkID,
+			BlockOff:  req.hdr.BlockOff,
+			OrigLen:   uint32(req.size),
+			CRC:       req.hdr.CRC,
+		}
+		var msg []byte
+		if frame != nil {
+			msg = blockstore.Message(&rh, frame)
+		} else {
+			rh.PayloadLen = uint32(frameSize)
+			msg = rh.Encode()
+		}
+		msgSize := blockstore.HeaderSize + frameSize
+		stored = len(set)
+		for _, idx := range set {
+			qp := s.storagePaths[0][idx]
+			s.nic.Send(qp, msg, msgSize)
+		}
+	})
 	tr.End(p.Now(), "mt", "replicate", tid)
 
 	tr.Begin(p.Now(), "mt", "ack", tid)
-	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: status}
 	tr.End(p.Now(), "mt", "ack", tid)
 	tr.Begin(p.Now(), "net", "reply", tid)
 	s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 	s.WritesDone++
-	s.BytesStored += frameSize * float64(s.cfg.Replicas)
+	s.BytesStored += frameSize * float64(stored)
 }
 
 // hostRead serves one read request: fetch from one storage server,
@@ -234,6 +242,16 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 	core.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
 
+	idx, ok := s.readReplicaFor(req.hdr)
+	if !ok {
+		// Every replica of the chunk is down: answer the client instead
+		// of panicking or stalling.
+		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+		tr.Begin(p.Now(), "net", "reply", tid)
+		s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
+		s.ReadsDone++
+		return
+	}
 	repID, pr := s.newPending(1)
 	fh := blockstore.Header{
 		Op:        blockstore.OpFetch,
@@ -242,7 +260,6 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 		ChunkID:   req.hdr.ChunkID,
 		BlockOff:  req.hdr.BlockOff,
 	}
-	idx := s.readReplicaFor(req.hdr)
 	tr.Begin(p.Now(), "mt", "fetch", tid)
 	s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
 	p.Wait(pr.done)

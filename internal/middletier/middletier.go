@@ -76,6 +76,15 @@ type Config struct {
 	BlockSize      int     // I/O block size (4 KB)
 	ModelRatio     float64 // compression ratio assumed for modeled-only payloads
 
+	// ReplicateTimeout bounds how long a write waits for its replication
+	// fan-out before re-issuing it against a refreshed healthy replica
+	// set — without it, a replica that crashes with the fan-out in
+	// flight strands the client's window slot forever (the dead server
+	// never replies). Zero disables the timeout (the default: healthy
+	// clusters keep the seed behavior exactly); fault campaigns and the
+	// failover tests enable it.
+	ReplicateTimeout float64
+
 	// DDIO mirrors the BIOS toggle for the Accel baseline (Fig. 8).
 	DDIO bool
 	// BufferLifetime drives the retained-working-set DDIO computation
@@ -212,6 +221,10 @@ type Server struct {
 	pending map[uint64]*pendingReq
 	nextRep uint64
 
+	// engineDown marks failed compression engines: index 0 for the
+	// Accel card and the BF2 SoC engine, per-port for SmartDS.
+	engineDown []bool
+
 	// Counters.
 	WritesDone  uint64
 	ReadsDone   uint64
@@ -219,7 +232,18 @@ type Server struct {
 	BytesIn     float64
 	BytesStored float64
 
-	clientConns int
+	// Failure-handling counters (degraded-mode behavior the fault
+	// campaigns and failover tests assert on).
+	Degraded         uint64  // writes placed on fewer than cfg.Replicas servers
+	Unroutable       uint64  // requests with no healthy replica at all
+	ReplicateRetries uint64  // replication fan-outs re-issued after timeout
+	RetryBytes       float64 // payload bytes re-sent by those retries
+	EngineFallbacks  uint64  // writes stored raw because an engine was down
+	EngineReroutes   uint64  // SmartDS writes compressed by a surviving port's engine
+	RebuildBytes     float64 // snapshot bytes streamed rebuilding crashed servers
+
+	clientConns  int
+	clientLocals []*rdma.QP // middle-tier side of each client connection
 }
 
 // New builds a middle-tier server of cfg.Kind attached to the fabric.
@@ -270,14 +294,15 @@ func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
 	cfg.Mem.DDIOEnabled = cfg.DDIO
 
 	s := &Server{
-		env:       env,
-		cfg:       cfg,
-		fabric:    fabric,
-		Mem:       mem.New(env, cfg.Mem),
-		cpu:       host.NewPool(env, cfg.CPU),
-		enc:       make(map[int]*lz4.Encoder),
-		pending:   make(map[uint64]*pendingReq),
-		placement: make(map[chunkKey][]int),
+		env:        env,
+		cfg:        cfg,
+		fabric:     fabric,
+		Mem:        mem.New(env, cfg.Mem),
+		cpu:        host.NewPool(env, cfg.CPU),
+		enc:        make(map[int]*lz4.Encoder),
+		pending:    make(map[uint64]*pendingReq),
+		placement:  make(map[chunkKey][]int),
+		engineDown: make([]bool, cfg.Ports),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		c, err := s.cpu.Claim()
@@ -518,27 +543,65 @@ type chunkKey struct {
 	chunk uint32
 }
 
-// replicasFor returns the replica set for a request's chunk: existing
-// placement if recorded, else a fresh healthy set. Down servers in an
-// existing set are replaced by healthy ones (fail-over re-replication),
-// and the table is updated.
+// replicasFor returns the servers a write to this chunk should fan out
+// to: existing placement if recorded, else a fresh healthy set. Down
+// servers in an existing set are replaced by healthy ones (fail-over
+// re-replication) and the table updated. When no substitute exists the
+// down member keeps its placement slot — it still holds the replica and
+// rejoins on recovery — but is excluded from the returned fan-out, so
+// the write proceeds degraded instead of panicking; an empty return
+// means no replica is reachable at all and the write must fail.
 func (s *Server) replicasFor(hdr blockstore.Header) []int {
 	key := chunkKey{seg: hdr.SegmentID, chunk: hdr.ChunkID}
 	set, ok := s.placement[key]
 	if !ok {
 		set = s.healthyReplicas()
+		if len(set) == 0 {
+			s.Unroutable++
+			return nil
+		}
+		if len(set) < s.cfg.Replicas {
+			s.Degraded++
+		}
 		s.placement[key] = set
 		return set
 	}
-	for i, idx := range set {
+	anyDown := false
+	for _, idx := range set {
 		if s.serverDown[idx] {
-			set[i] = s.substituteReplica(set)
+			anyDown = true
+			break
 		}
 	}
-	return set
+	if !anyDown {
+		return set
+	}
+	healthy := make([]int, 0, len(set))
+	degraded := false
+	for i, idx := range set {
+		if !s.serverDown[idx] {
+			healthy = append(healthy, idx)
+			continue
+		}
+		if sub := s.substituteReplica(set); sub >= 0 {
+			set[i] = sub
+			healthy = append(healthy, sub)
+		} else {
+			degraded = true
+		}
+	}
+	if degraded {
+		s.Degraded++
+	}
+	if len(healthy) == 0 {
+		s.Unroutable++
+		return nil
+	}
+	return healthy
 }
 
-// substituteReplica finds a healthy server outside the given set.
+// substituteReplica finds a healthy server outside the given set, or -1
+// when every server outside it is down (degraded mode).
 func (s *Server) substituteReplica(set []int) int {
 	for i := 0; i < s.numStorage; i++ {
 		idx := (s.nextPath + i) % s.numStorage
@@ -557,33 +620,41 @@ func (s *Server) substituteReplica(set []int) int {
 			return idx
 		}
 	}
-	panic("middletier: no healthy substitute replica available")
+	return -1
 }
 
 // readReplicaFor picks a healthy holder of the request's chunk,
-// rotating across the replica set for balance.
-func (s *Server) readReplicaFor(hdr blockstore.Header) int {
+// rotating across the replica set for balance. ok is false when every
+// replica of the chunk is down — the caller answers the client with an
+// error instead of the old panic.
+func (s *Server) readReplicaFor(hdr blockstore.Header) (int, bool) {
 	key := chunkKey{seg: hdr.SegmentID, chunk: hdr.ChunkID}
 	set, ok := s.placement[key]
 	if !ok {
 		// Never written through this server: fall back to any healthy
 		// server (the storage tier will answer not-found).
-		return s.healthyReplicas()[0]
+		hs := s.healthyReplicas()
+		if len(hs) == 0 {
+			s.Unroutable++
+			return 0, false
+		}
+		return hs[0], true
 	}
 	for i := 0; i < len(set); i++ {
 		idx := set[(s.readRR+i)%len(set)]
 		if !s.serverDown[idx] {
 			s.readRR++
-			return idx
+			return idx, true
 		}
 	}
-	panic("middletier: all replicas of a chunk are down")
+	s.Unroutable++
+	return 0, false
 }
 
-// healthyReplicas picks cfg.Replicas distinct healthy storage servers,
-// rotating the starting point for balance. It panics when fewer
-// healthy servers remain than the replication factor — the cluster has
-// lost durability and the control plane must intervene.
+// healthyReplicas picks up to cfg.Replicas distinct healthy storage
+// servers, rotating the starting point for balance. Fewer healthy
+// servers than the replication factor yields a short (possibly empty)
+// set — the caller decides whether to proceed degraded.
 func (s *Server) healthyReplicas() []int {
 	var out []int
 	n := s.numStorage
@@ -594,9 +665,6 @@ func (s *Server) healthyReplicas() []int {
 		}
 	}
 	s.nextPath++
-	if len(out) < s.cfg.Replicas {
-		panic(fmt.Sprintf("middletier: only %d healthy storage servers for %d replicas", len(out), s.cfg.Replicas))
-	}
 	return out
 }
 
@@ -656,5 +724,6 @@ func (s *Server) ConnectClient(peer *rdma.Stack) *rdma.QP {
 	}
 	s.clientConns++
 	rdma.Connect(clientQP, local)
+	s.clientLocals = append(s.clientLocals, local)
 	return clientQP
 }

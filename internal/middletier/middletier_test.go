@@ -73,16 +73,27 @@ func TestHealthyReplicasRotatesAndSkipsDown(t *testing.T) {
 	}
 }
 
-func TestHealthyReplicasPanicsWhenInsufficient(t *testing.T) {
+func TestHealthyReplicasShortWhenInsufficient(t *testing.T) {
 	s := newTestServer(t, CPUOnly)
 	s.numStorage = 3
 	s.serverDown = []bool{true, false, false} // only 2 healthy, need 3
-	defer func() {
-		if recover() == nil {
-			t.Fatal("insufficient healthy servers did not panic")
+	set := s.healthyReplicas()
+	if len(set) != 2 {
+		t.Fatalf("healthy set = %v, want the 2 surviving servers", set)
+	}
+	for _, idx := range set {
+		if s.serverDown[idx] {
+			t.Fatalf("down server in healthy set %v", set)
 		}
-	}()
-	s.healthyReplicas()
+	}
+	// A degraded write through replicasFor counts itself.
+	h := blockstore.Header{SegmentID: 9, ChunkID: 9}
+	if got := s.replicasFor(h); len(got) != 2 {
+		t.Fatalf("degraded fan-out = %v", got)
+	}
+	if s.Degraded == 0 {
+		t.Fatal("degraded write not counted")
+	}
 }
 
 func TestPendingFanInCountsReplies(t *testing.T) {
@@ -245,7 +256,10 @@ func TestPlacementStableAcrossWritesAndReads(t *testing.T) {
 	// Reads target members of the set.
 	seen := map[int]bool{}
 	for i := 0; i < 12; i++ {
-		idx := s.readReplicaFor(h)
+		idx, ok := s.readReplicaFor(h)
+		if !ok {
+			t.Fatal("healthy chunk reported unroutable")
+		}
 		found := false
 		for _, m := range set1 {
 			if m == idx {
@@ -280,7 +294,11 @@ func TestPlacementFailoverSubstitutes(t *testing.T) {
 	}
 	// Reads avoid the down server too.
 	for i := 0; i < 6; i++ {
-		if idx := s.readReplicaFor(h); s.serverDown[idx] {
+		idx, ok := s.readReplicaFor(h)
+		if !ok {
+			t.Fatal("chunk with healthy replicas reported unroutable")
+		}
+		if s.serverDown[idx] {
 			t.Fatalf("read targeted down server %d", idx)
 		}
 	}
@@ -290,13 +308,13 @@ func TestReadReplicaUnknownChunkFallsBack(t *testing.T) {
 	s := newTestServer(t, CPUOnly)
 	s.numStorage = 4
 	s.serverDown = make([]bool, 4)
-	idx := s.readReplicaFor(blockstore.Header{SegmentID: 42, ChunkID: 42})
-	if idx < 0 || idx >= 4 {
-		t.Fatalf("fallback index %d", idx)
+	idx, ok := s.readReplicaFor(blockstore.Header{SegmentID: 42, ChunkID: 42})
+	if !ok || idx < 0 || idx >= 4 {
+		t.Fatalf("fallback index %d ok=%v", idx, ok)
 	}
 }
 
-func TestAllReplicasDownPanics(t *testing.T) {
+func TestAllReplicasDownReportsUnroutable(t *testing.T) {
 	s := newTestServer(t, CPUOnly)
 	s.numStorage = 4
 	s.serverDown = make([]bool, 4)
@@ -305,10 +323,22 @@ func TestAllReplicasDownPanics(t *testing.T) {
 	for _, idx := range set {
 		s.serverDown[idx] = true
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("reading a fully-down chunk did not panic")
-		}
-	}()
-	s.readReplicaFor(h)
+	// Substitution rescues the chunk while a healthy server remains
+	// outside the original set.
+	if repl := s.replicasFor(h); len(repl) == 0 {
+		t.Fatalf("substitution failed with a spare server: %v", repl)
+	}
+	// With every server down, both paths degrade gracefully.
+	for i := range s.serverDown {
+		s.serverDown[i] = true
+	}
+	if _, ok := s.readReplicaFor(h); ok {
+		t.Fatal("fully-down chunk reported routable")
+	}
+	if set := s.replicasFor(h); set != nil {
+		t.Fatalf("fully-down write got replicas %v", set)
+	}
+	if s.Unroutable == 0 {
+		t.Fatal("unroutable requests not counted")
+	}
 }

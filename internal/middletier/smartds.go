@@ -135,12 +135,32 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	var freePayload bool
 	flags := uint8(0)
 
+	port := inst.Index()
 	tr.Begin(p.Now(), "mt", "compress", tid)
-	if bypass {
+	switch {
+	case bypass:
 		s.BypassHits++
 		payloadBuf = c.dbufs[slot]
 		payloadSize = req.size
-	} else {
+	case !s.engineAvailable(port) && s.altEnginePort(port) < 0:
+		// Every port engine is down: store raw. The descriptor's HBM
+		// buffer carries the payload out, exactly like bypass.
+		s.EngineFallbacks++
+		payloadBuf = c.dbufs[slot]
+		payloadSize = req.size
+	default:
+		// Compress on this port's engine, or reroute to a surviving
+		// port's engine through the shared HBM when ours is down.
+		engInst := inst
+		if !s.engineAvailable(port) {
+			alt := s.altEnginePort(port)
+			altInst, err := s.sds.OpenRoCEInstance(alt)
+			if err != nil {
+				panic(err)
+			}
+			engInst = altInst
+			s.EngineReroutes++
+		}
 		dst, err := s.sds.DevAlloc(lz4.CompressBound(s.cfg.BlockSize))
 		if err != nil {
 			panic(fmt.Sprintf("middletier: HBM exhausted for compression output: %v", err))
@@ -156,7 +176,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 			p.Wait(s.sds.HBM().StartAccess(req.hostResident))
 		}
 		if req.payload != nil {
-			comp := inst.DevFunc(c.dbufs[slot], len(req.payload), dst, s.cfg.Level)
+			comp := engInst.DevFunc(c.dbufs[slot], len(req.payload), dst, s.cfg.Level)
 			res := core.Poll(p, comp)
 			if res.Err != nil {
 				panic(res.Err)
@@ -167,7 +187,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 			copy(dst.Bytes(), frame)
 			payloadSize = float64(len(frame))
 		} else {
-			inst.Engine().Run(p, req.size, req.size/s.cfg.ModelRatio)
+			engInst.Engine().Run(p, req.size, req.size/s.cfg.ModelRatio)
 			payloadSize = req.size/s.cfg.ModelRatio + lz4.FrameHeaderSize
 		}
 		payloadBuf = dst
@@ -176,32 +196,35 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	}
 	tr.End(p.Now(), "mt", "compress", tid)
 
-	repID, pr := s.newPending(s.cfg.Replicas)
-	rh := blockstore.Header{
-		Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
-		VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
-		ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
-		OrigLen: uint32(req.size), CRC: req.hdr.CRC,
-		PayloadLen: uint32(payloadSize),
-	}
-	repHdr := s.sds.HostAlloc(blockstore.HeaderSize)
-	copy(repHdr.Bytes(), rh.Encode())
-
-	path := inst.Index()
 	tr.Begin(p.Now(), "mt", "replicate", tid)
-	for _, idx := range s.replicasFor(req.hdr) {
-		inst.DevMixedSend(s.storagePaths[path][idx], repHdr, blockstore.HeaderSize, payloadBuf, int(payloadSize))
-	}
-	p.Wait(pr.done)
+	stored := 0
+	status := s.replicateWait(p, req.hdr, payloadSize, func(repID uint64, set []int) {
+		rh := blockstore.Header{
+			Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
+			VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
+			ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+			OrigLen: uint32(req.size), CRC: req.hdr.CRC,
+			PayloadLen: uint32(payloadSize),
+		}
+		// A fresh header buffer per attempt: the Assemble module copies
+		// its bytes asynchronously, so a prior attempt's gather may still
+		// be reading the old one.
+		repHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+		copy(repHdr.Bytes(), rh.Encode())
+		stored = len(set)
+		for _, idx := range set {
+			inst.DevMixedSend(s.storagePaths[port][idx], repHdr, blockstore.HeaderSize, payloadBuf, int(payloadSize))
+		}
+	})
 	tr.End(p.Now(), "mt", "replicate", tid)
 	tr.Begin(p.Now(), "mt", "ack", tid)
-	s.nextCore().Work(p, completionCPUTime*float64(s.cfg.Replicas))
+	s.nextCore().Work(p, completionCPUTime*float64(maxInt(stored, 1)))
 
 	if freePayload {
 		payloadBuf.Free()
 	}
 
-	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: pr.status}
+	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: status}
 	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 	copy(replyHdr.Bytes(), reply.Encode())
 	tr.End(p.Now(), "mt", "ack", tid)
@@ -209,7 +232,14 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 	s.nextCore().Work(p, completionCPUTime)
 	s.WritesDone++
-	s.BytesStored += payloadSize * float64(s.cfg.Replicas)
+	s.BytesStored += payloadSize * float64(stored)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // sdsRead serves one read: fetch the frame from a storage server into
@@ -218,6 +248,17 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	inst := c.inst
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace
+	path := inst.Index()
+	idx, ok := s.readReplicaFor(req.hdr)
+	if !ok {
+		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+		replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+		copy(replyHdr.Bytes(), reply.Encode())
+		tr.Begin(p.Now(), "net", "reply", tid)
+		inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
+		s.ReadsDone++
+		return
+	}
 	repID, pr := s.newPending(1)
 	fh := blockstore.Header{
 		Op: blockstore.OpFetch, ReqID: repID,
@@ -225,8 +266,6 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	}
 	fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 	copy(fetchHdr.Bytes(), fh.Encode())
-	path := inst.Index()
-	idx := s.readReplicaFor(req.hdr)
 	tr.Begin(p.Now(), "mt", "fetch", tid)
 	inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
 	p.Wait(pr.done)

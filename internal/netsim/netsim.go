@@ -94,6 +94,15 @@ func (f *Fabric) Config() Config { return f.cfg }
 // SetLossFn installs a message-drop predicate (nil restores lossless).
 func (f *Fabric) SetLossFn(fn func(*Message) bool) { f.dropFn = fn }
 
+// LossFn returns the installed drop predicate (nil when lossless), so
+// an injector can chain a previously installed one instead of silently
+// replacing it.
+func (f *Fabric) LossFn() func(*Message) bool { return f.dropFn }
+
+// Port returns the port bound to addr, or nil — fault injection and
+// tests reach ports by address.
+func (f *Fabric) Port(addr Addr) *Port { return f.ports[addr] }
+
 // WireSize returns the on-wire bytes for a payload of n bytes,
 // accounting for per-packet framing at the fabric MTU.
 func (f *Fabric) WireSize(n float64) float64 {
@@ -149,6 +158,13 @@ func (p *Port) RxStats() sim.LinkStats { return p.rx.Snapshot() }
 
 // Rate returns the port's per-direction capacity in bytes/second.
 func (p *Port) Rate() float64 { return p.tx.Rate() }
+
+// SetRate rescales both directions of the port mid-run (link-rate
+// degradation faults). In-flight transfers continue at the new rate.
+func (p *Port) SetRate(bytesPerSec float64) {
+	p.tx.SetRate(bytesPerSec)
+	p.rx.SetRate(bytesPerSec)
+}
 
 // Send serializes the message out of this port. The returned event
 // fires when the last byte leaves the sender (TX complete); delivery to

@@ -1,0 +1,129 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/rng"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// TestLossSweepExactlyOnceInOrder pipelines a numbered message stream
+// through increasingly lossy links and checks the reliability
+// contract: every message is delivered exactly once, in order, with a
+// bounded number of retransmissions — and a lossless link never
+// retransmits at all.
+func TestLossSweepExactlyOnceInOrder(t *testing.T) {
+	const n = 256
+	for _, p := range []float64{0, 0.05, 0.10, 0.20} {
+		p := p
+		t.Run(fmt.Sprintf("loss=%.0f%%", p*100), func(t *testing.T) {
+			e := sim.NewEnv()
+			f := netsim.NewFabric(e, netsim.Config{WireLatency: 1e-6, MTU: 4096, PerPktOverhead: 80})
+			// Go-back-N charges a retry to every unacked message on each
+			// timeout, so the retry budget must scale with pipeline depth;
+			// the default budget (8) is sized for the shallow fan-outs the
+			// middle tier runs, not a 256-deep stress pipeline.
+			cfg := DefaultConfig()
+			cfg.MaxRetries = 128
+			sa := NewStack(e, f.NewPort("A", 12.5e9), cfg)
+			sb := NewStack(e, f.NewPort("B", 12.5e9), DefaultConfig())
+			qa, qb := connectedQPs(sa, sb)
+			if p > 0 {
+				r := rng.New(99)
+				f.SetLossFn(func(m *netsim.Message) bool { return r.Float64() < p })
+			}
+			var got []uint32
+			qb.OnRecv = func(m *Message) {
+				got = append(got, binary.LittleEndian.Uint32(m.Data))
+			}
+			var failed int
+			e.Go("tx", func(pr *sim.Proc) {
+				evs := make([]*sim.Event, n)
+				for i := 0; i < n; i++ {
+					buf := make([]byte, 4)
+					binary.LittleEndian.PutUint32(buf, uint32(i))
+					evs[i] = qa.Send(buf)
+				}
+				for _, ev := range evs {
+					if res := pr.Wait(ev); res != nil {
+						failed++
+					}
+				}
+			})
+			e.Run(0)
+
+			if failed != 0 {
+				t.Fatalf("%d of %d sends failed on a recoverable link", failed, n)
+			}
+			if len(got) != n {
+				t.Fatalf("delivered %d messages, want exactly %d", len(got), n)
+			}
+			for i, v := range got {
+				if v != uint32(i) {
+					t.Fatalf("delivery out of order at position %d: got seq %d", i, v)
+				}
+			}
+			rtx := qa.Retransmits()
+			switch {
+			case p == 0 && rtx != 0:
+				t.Fatalf("lossless link retransmitted %d times", rtx)
+			case p > 0 && rtx == 0:
+				t.Fatalf("%.0f%% loss produced no retransmits (loss not injected?)", p*100)
+			case rtx > 100*n:
+				t.Fatalf("retransmits unbounded: %d for %d messages", rtx, n)
+			}
+		})
+	}
+}
+
+// TestBrokenQPReconnectRoundTrip drives a QP through the full failure
+// lifecycle: a black-holed link exhausts retries (an error, not a
+// hang), the QP turns broken and fails later sends fast, and a
+// Reconnect restores it to a working state.
+func TestBrokenQPReconnectRoundTrip(t *testing.T) {
+	e := sim.NewEnv()
+	f := netsim.NewFabric(e, netsim.Config{WireLatency: 1e-6})
+	sa := NewStack(e, f.NewPort("A", 12.5e9), Config{RetransmitTimeout: 10e-6, MaxRetries: 2})
+	sb := NewStack(e, f.NewPort("B", 12.5e9), DefaultConfig())
+	qa, qb := connectedQPs(sa, sb)
+
+	dark := true
+	f.SetLossFn(func(m *netsim.Message) bool { return dark })
+
+	var first, second interface{}
+	e.Go("tx", func(p *sim.Proc) {
+		first = p.Wait(qa.SendSized(nil, 128))
+		second = p.Wait(qa.SendSized(nil, 128))
+	})
+	e.Run(0)
+
+	if first != ErrRetriesExhausted {
+		t.Fatalf("black-holed send returned %v, want ErrRetriesExhausted", first)
+	}
+	if !qa.Broken() {
+		t.Fatal("QP not marked broken after retry exhaustion")
+	}
+	if second != ErrRetriesExhausted {
+		t.Fatalf("send on broken QP returned %v, want fail-fast ErrRetriesExhausted", second)
+	}
+
+	dark = false
+	Reconnect(qa, qb)
+	if qa.Broken() || qb.Broken() {
+		t.Fatal("QP still broken after Reconnect")
+	}
+	var delivered []byte
+	qb.OnRecv = func(m *Message) { delivered = append([]byte(nil), m.Data...) }
+	var res interface{}
+	e.Go("tx2", func(p *sim.Proc) { res = p.Wait(qa.Send([]byte("post-reconnect"))) })
+	e.Run(0)
+	if res != nil {
+		t.Fatalf("send after Reconnect failed: %v", res)
+	}
+	if string(delivered) != "post-reconnect" {
+		t.Fatalf("delivered %q after Reconnect", delivered)
+	}
+}

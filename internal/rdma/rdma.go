@@ -67,6 +67,9 @@ type Message struct {
 // ErrRetriesExhausted reports a send that could not be delivered.
 var ErrRetriesExhausted = fmt.Errorf("rdma: retries exhausted")
 
+// ErrDisconnected reports sends aborted by a QP reset (Reconnect).
+var ErrDisconnected = fmt.Errorf("rdma: queue pair reset")
+
 // Stack is one RoCE instance bound to a fabric port.
 type Stack struct {
 	env     *sim.Env
@@ -86,6 +89,7 @@ type packet struct {
 	src    QPID
 	dstQPN int
 	seq    uint64 // data: message seq; ack: cumulative next-expected
+	epoch  uint32 // connection incarnation; stale-epoch packets are ignored
 	data   []byte
 	size   float64
 }
@@ -125,8 +129,18 @@ type QP struct {
 
 	sendSeq  uint64 // next sequence to assign
 	recvNext uint64 // next expected incoming sequence
+	epoch    uint32 // bumped by Reconnect; guards against stale in-flight packets
 
 	unacked []*pendingSend
+
+	// broken marks a QP whose go-back-N window has a permanent gap: a
+	// send exhausted its retries, so the receiver can never advance past
+	// the missing sequence. Every outstanding and subsequent send fails
+	// until Reconnect resets the pair.
+	broken bool
+
+	// retransmits counts go-back-N resends (loss-sweep tests bound it).
+	retransmits uint64
 
 	// OnRecv receives in-order messages. The upper layer (an AAMS
 	// instance, a storage server loop) installs it; nil drops.
@@ -159,6 +173,11 @@ func (s *Stack) CreateQP() *QP {
 	return qp
 }
 
+// QP returns the stack's queue pair with the given number, or nil —
+// Reconnect after a fault needs to reach the peer QP object by the
+// identity its partner recorded at Connect time.
+func (s *Stack) QP(qpn int) *QP { return s.qps[qpn] }
+
 // ID returns the QP's global identity.
 func (qp *QP) ID() QPID { return QPID{Addr: qp.stack.Addr(), QPN: qp.qpn} }
 
@@ -171,6 +190,52 @@ func Connect(a, b *QP) {
 	a.remote = b.ID()
 	b.remote = a.ID()
 }
+
+// Reconnect resets both ends of a connected pair after a failure — the
+// CM-level teardown and re-establish real RoCE performs. Outstanding
+// sends on both sides fail with ErrDisconnected, sequence numbers
+// restart, and the broken flag clears. Both ends move to a common new
+// epoch so stale in-flight packets from the old incarnation (data or
+// acks still crossing the fabric) cannot corrupt the fresh sequence
+// space. The QP objects keep their numbers, so existing references
+// stay valid.
+func Reconnect(a, b *QP) {
+	epoch := a.epoch
+	if b.epoch > epoch {
+		epoch = b.epoch
+	}
+	epoch++
+	a.reset(epoch)
+	b.reset(epoch)
+	a.remote = b.ID()
+	b.remote = a.ID()
+}
+
+// reset aborts outstanding sends and restarts the QP at a new epoch.
+func (qp *QP) reset(epoch uint32) {
+	failed := qp.unacked
+	qp.unacked = nil
+	qp.sendSeq = 0
+	qp.recvNext = 0
+	qp.broken = false
+	qp.epoch = epoch
+	for _, ps := range failed {
+		if ps.resolved {
+			continue
+		}
+		ps.resolved = true
+		ps.cancelTimer()
+		qp.endSendSpan(ps)
+		ps.done.Trigger(ErrDisconnected)
+	}
+}
+
+// Broken reports whether the QP needs a Reconnect before it can carry
+// traffic again.
+func (qp *QP) Broken() bool { return qp.broken }
+
+// Retransmits returns the cumulative go-back-N resend count.
+func (qp *QP) Retransmits() uint64 { return qp.retransmits }
 
 // Send posts a reliable message carrying real data bytes. The returned
 // event fires with nil on ACK or an error after retry exhaustion.
@@ -189,6 +254,12 @@ func (qp *QP) send(data []byte, size float64) *sim.Event {
 		panic("rdma: Send on unconnected QP " + qp.ID().String())
 	}
 	done := qp.stack.env.NewEvent()
+	if qp.broken {
+		// The window has a permanent gap; nothing sent now can ever be
+		// delivered in order. Fail fast instead of burning retries.
+		done.Trigger(ErrRetriesExhausted)
+		return done
+	}
 	ps := &pendingSend{seq: qp.sendSeq, data: data, size: size, done: done}
 	qp.sendSeq++
 	qp.unacked = append(qp.unacked, ps)
@@ -222,6 +293,7 @@ func (qp *QP) transmit(ps *pendingSend) {
 			src:    qp.ID(),
 			dstQPN: qp.remote.QPN,
 			seq:    ps.seq,
+			epoch:  qp.epoch,
 			data:   ps.data,
 			size:   ps.size,
 		},
@@ -241,7 +313,10 @@ func fabricSize(s *Stack, payload float64) float64 {
 }
 
 // onTimeout handles a retransmission timeout for one message: go-back-N
-// resends it and every later unacked message.
+// resends it and every later unacked message. If any message has
+// exhausted its retries the whole window fails and the QP turns broken:
+// go-back-N cannot skip the lost sequence, so no later send could ever
+// be delivered (previously such sends would silently hang the peer).
 func (qp *QP) onTimeout(timed *pendingSend) {
 	if Debug != nil {
 		Debug("timeout", qp.ID(), timed.seq)
@@ -260,28 +335,31 @@ func (qp *QP) onTimeout(timed *pendingSend) {
 	if idx < 0 {
 		return
 	}
-	kept := qp.unacked[:idx]
-	var failed []*pendingSend
+	for _, ps := range qp.unacked[idx:] {
+		if ps.retries+1 > qp.stack.cfg.MaxRetries {
+			qp.broken = true
+		}
+	}
+	if qp.broken {
+		failed := qp.unacked
+		qp.unacked = nil
+		for _, ps := range failed {
+			ps.resolved = true
+			ps.cancelTimer()
+			qp.endSendSpan(ps)
+			ps.done.Trigger(ErrRetriesExhausted)
+		}
+		return
+	}
 	tr := qp.stack.cfg.Trace
 	for _, ps := range qp.unacked[idx:] {
 		ps.retries++
-		if ps.retries > qp.stack.cfg.MaxRetries {
-			ps.resolved = true
-			ps.cancelTimer()
-			failed = append(failed, ps)
-			continue
-		}
+		qp.retransmits++
 		if tr != nil {
 			tr.Emit(qp.stack.env.Now(), qp.stack.traceName(), "retransmit",
 				fmt.Sprintf("seq %d retry %d", ps.seq, ps.retries))
 		}
 		qp.transmit(ps)
-		kept = append(kept, ps)
-	}
-	qp.unacked = kept
-	for _, ps := range failed {
-		qp.endSendSpan(ps)
-		ps.done.Trigger(ErrRetriesExhausted)
 	}
 }
 
@@ -299,15 +377,23 @@ func (s *Stack) receive(m *netsim.Message) {
 	case 'D':
 		qp.onData(pkt)
 	case 'A':
-		qp.onAck(pkt.seq)
+		if pkt.epoch == qp.epoch {
+			qp.onAck(pkt.seq)
+		}
 	}
 }
 
 // onData handles an incoming data message: deliver in order, drop
-// out-of-order (go-back-N), always re-ack cumulatively.
+// out-of-order (go-back-N), always re-ack cumulatively. Packets from an
+// older connection epoch are dropped without an ack — after a Reconnect
+// a stale in-flight data message must not masquerade as a fresh
+// sequence number.
 func (qp *QP) onData(pkt *packet) {
 	if Debug != nil {
 		Debug("data", qp.ID(), pkt.seq)
+	}
+	if pkt.epoch != qp.epoch {
+		return
 	}
 	if pkt.seq == qp.recvNext {
 		qp.recvNext++
@@ -330,6 +416,7 @@ func (qp *QP) sendAck() {
 			src:    qp.ID(),
 			dstQPN: qp.remote.QPN,
 			seq:    qp.recvNext,
+			epoch:  qp.epoch,
 		},
 	})
 }

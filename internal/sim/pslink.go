@@ -51,6 +51,18 @@ func (l *PSLink) Name() string { return l.name }
 // Rate returns the aggregate capacity in bytes/second.
 func (l *PSLink) Rate() float64 { return l.rate }
 
+// SetRate changes the aggregate capacity mid-run (link degradation
+// faults): progress accrued so far is applied at the old rate, and
+// in-flight transfers continue at the new one.
+func (l *PSLink) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("sim: PSLink rate must be positive")
+	}
+	l.advance()
+	l.rate = rate
+	l.reschedule()
+}
+
 // InFlight returns the number of active transfers.
 func (l *PSLink) InFlight() int { return len(l.jobs) }
 

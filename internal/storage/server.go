@@ -85,6 +85,11 @@ type Server struct {
 
 	// Writes and Reads count served requests.
 	Writes, Reads uint64
+	// down silences the service loop while the machine is failed. The
+	// fault injector additionally drops the server's fabric traffic (a
+	// dead NIC acks nothing); this flag is the belt-and-braces guard for
+	// requests already past the transport when the crash lands.
+	down bool
 	// Verify enables payload CRC checking on replicate (integrity
 	// testing; adds wall-clock cost, not simulated time).
 	Verify bool
@@ -128,6 +133,24 @@ func NewServer(env *sim.Env, fabric *netsim.Fabric, addr netsim.Addr, portRate f
 // Stack exposes the transport for connection setup.
 func (s *Server) Stack() *rdma.Stack { return s.stack }
 
+// SetDown marks the server failed (true) or serving (false).
+func (s *Server) SetDown(down bool) { s.down = down }
+
+// Down reports whether the server is failed.
+func (s *Server) Down() bool { return s.down }
+
+// Crash models a fail-stop loss of the machine: the service loop goes
+// silent and the store's contents are gone. Recovery streams the data
+// back from surviving replicas (middletier.Server.RebuildServer).
+func (s *Server) Crash() {
+	s.down = true
+	s.store = NewChunkStore()
+}
+
+// Recover brings the crashed server back with an empty store, ready
+// for the rebuild to repopulate it.
+func (s *Server) Recover() { s.down = false }
+
 // Store exposes the chunk store (tests, GC service).
 func (s *Server) Store() *ChunkStore { return s.store }
 
@@ -141,6 +164,9 @@ func (s *Server) AcceptQP() *rdma.QP {
 
 // serve handles one request message.
 func (s *Server) serve(qp *rdma.QP, m *rdma.Message) {
+	if s.down {
+		return
+	}
 	s.env.Go(s.name+".serve", func(p *sim.Proc) {
 		if m.Data == nil {
 			// Modeled-only traffic: charge the disk for the payload and
