@@ -1,0 +1,207 @@
+// Command smartds-vet is the determinism multichecker: it runs the
+// detcheck analyzers (wallclock, randsrc, maporder, simspawn,
+// floatacc) over the module and exits nonzero on any finding. The
+// analyzers mechanically enforce the invariants behind the simulator's
+// "whole experiments replay bit-for-bit" guarantee; see the
+// "Determinism invariants" section of DESIGN.md.
+//
+// Usage:
+//
+//	go run ./cmd/smartds-vet ./...          # whole tree (what CI runs)
+//	go run ./cmd/smartds-vet ./internal/sim # one package
+//	go run ./cmd/smartds-vet -maporder=false ./...
+//	go run ./cmd/smartds-vet -randsrc.allow=internal/rng,internal/foo ./...
+//
+// Each analyzer can be disabled with -<name>=false and configured via
+// -<name>.<flag> options; allowlists live in these flag defaults, not
+// in CI YAML. Individual findings are waived in code with a
+// `//detcheck:<name> <reason>` comment on the flagged line or the line
+// above it.
+//
+// The binary also answers the `go vet -vettool` version handshake
+// (-V=full), but the supported entry point is running it directly with
+// package patterns as above: the standalone driver loads and
+// type-checks packages itself, so it needs no export data from the go
+// command.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/disagg/smartds/internal/analysis/floatacc"
+	"github.com/disagg/smartds/internal/analysis/framework"
+	"github.com/disagg/smartds/internal/analysis/load"
+	"github.com/disagg/smartds/internal/analysis/maporder"
+	"github.com/disagg/smartds/internal/analysis/randsrc"
+	"github.com/disagg/smartds/internal/analysis/simspawn"
+	"github.com/disagg/smartds/internal/analysis/wallclock"
+)
+
+// analyzers is the detcheck suite, in reporting order.
+var analyzers = []*framework.Analyzer{
+	wallclock.Analyzer,
+	randsrc.Analyzer,
+	maporder.Analyzer,
+	simspawn.Analyzer,
+	floatacc.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	// `tool -flags` is the go command asking for the flag schema; it
+	// must be answered before normal flag parsing (no such flag exists).
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlagsJSON(stdout)
+		return 0
+	}
+	fs := flag.NewFlagSet("smartds-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	versionFlag := fs.String("V", "", "print version and exit (go vet -vettool handshake)")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer\n"+a.Doc)
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: smartds-vet [flags] [package patterns]\n\n")
+		fmt.Fprintf(stderr, "Determinism multichecker for the SmartDS simulator. Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *versionFlag != "" {
+		// The go command probes vettools with -V=full and expects
+		// "name version devel buildID=<id>"; hashing our own binary
+		// invalidates its vet cache whenever the checker changes.
+		fmt.Fprintf(stdout, "smartds-vet version devel buildID=%s\n", selfID())
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		// go vet -vettool unit protocol: analyze one pre-compiled
+		// package unit described by a JSON config.
+		return runUnit(patterns[0], enabled, stdout, stderr)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "smartds-vet: %v\n", err)
+		return 2
+	}
+	loader := load.NewLoader()
+	pkgs, err := loader.Patterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "smartds-vet: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "smartds-vet: no packages matched %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "smartds-vet: %s: %v\n", pkg.PkgPath, terr)
+			exit = 2
+		}
+		var diags []diagnostic
+		for _, a := range analyzers {
+			if !*enabled[a.Name] {
+				continue
+			}
+			pass := newPass(a, pkg.Fset, pkg.Files, pkg.PkgPath, pkg.Types, pkg.Info,
+				func(d diagnostic) { diags = append(diags, d) })
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "smartds-vet: %s: %s: %v\n", a.Name, pkg.PkgPath, err)
+				exit = 2
+			}
+		}
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := pkg.Fset.Position(diags[i].d.Pos), pkg.Fset.Position(diags[j].d.Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return pi.Column < pj.Column
+		})
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.d.Pos)
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
+				relTo(cwd, pos.Filename), pos.Line, pos.Column, d.analyzer, d.d.Message)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+type diagnostic struct {
+	analyzer string
+	d        framework.Diagnostic
+}
+
+// newPass assembles a framework.Pass for one analyzer over one
+// type-checked package, tagging reported diagnostics with the
+// analyzer's name.
+func newPass(a *framework.Analyzer, fset *token.FileSet, files []*ast.File, pkgPath string,
+	pkg *types.Package, info *types.Info, report func(diagnostic)) *framework.Pass {
+	return &framework.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		PkgPath:   pkgPath,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d framework.Diagnostic) { report(diagnostic{a.Name, d}) },
+	}
+}
+
+// selfID returns a content hash of the running executable for the
+// go command's tool-ID handshake.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x/%x", sum[:12], sum[:12])
+}
+
+// relTo shortens an absolute filename relative to the working
+// directory when that produces a cleaner path.
+func relTo(cwd, path string) string {
+	if !strings.HasPrefix(path, cwd+string(os.PathSeparator)) {
+		return path
+	}
+	return "." + strings.TrimPrefix(path, cwd)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultichecker runs the full analyzer suite end-to-end against a
+// fixture tree containing exactly one violation per analyzer and
+// asserts each diagnostic fires with its expected message.
+func TestMultichecker(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"./testdata/tree/..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	wants := []struct{ file, analyzer, fragment string }{
+		{"clock/clock.go", "wallclock", "wall-clock time.Now in simulation code"},
+		{"randpkg/randpkg.go", "randsrc", "import of math/rand outside internal/rng"},
+		{"maps/maps.go", "maporder", "append inside map iteration builds a slice in map order"},
+		{"spawn/spawn.go", "simspawn", "bare go statement races the cooperative scheduler"},
+		{"floats/floats.go", "floatacc", "floating-point == comparison"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, line := range strings.Split(got, "\n") {
+			if strings.Contains(line, w.file) &&
+				strings.Contains(line, w.analyzer+": ") &&
+				strings.Contains(line, w.fragment) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic for %s containing %q\noutput:\n%s", w.analyzer, w.file, w.fragment, got)
+		}
+	}
+	if n := strings.Count(strings.TrimSpace(got), "\n") + 1; n != len(wants) {
+		t.Errorf("diagnostic count = %d, want exactly %d\noutput:\n%s", n, len(wants), got)
+	}
+}
+
+// TestMulticheckerCleanTree asserts a violation-free tree exits 0.
+func TestMulticheckerCleanTree(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"./testdata/clean/..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected diagnostics on clean tree:\n%s", out.String())
+	}
+}
+
+// TestDisableAnalyzer asserts -<name>=false suppresses that analyzer
+// and only that analyzer.
+func TestDisableAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-wallclock=false", "./testdata/tree/..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	if strings.Contains(got, "wallclock: ") {
+		t.Errorf("wallclock diagnostics present despite -wallclock=false:\n%s", got)
+	}
+	if !strings.Contains(got, "randsrc: ") {
+		t.Errorf("randsrc diagnostics missing with -wallclock=false:\n%s", got)
+	}
+}
+
+// TestVersionHandshake covers the go vet -vettool probe.
+func TestVersionHandshake(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-V=full"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.HasPrefix(out.String(), "smartds-vet version ") {
+		t.Errorf("version line = %q", out.String())
+	}
+}

@@ -1,0 +1,14 @@
+// Package ok holds no determinism violations.
+package ok
+
+import "sort"
+
+// SortedKeys is the accepted append-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

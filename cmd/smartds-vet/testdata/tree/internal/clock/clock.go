@@ -1,0 +1,7 @@
+// Package clock violates the wallclock invariant.
+package clock
+
+import "time"
+
+// Stamp leaks the host clock into simulation code.
+func Stamp() int64 { return time.Now().UnixNano() }

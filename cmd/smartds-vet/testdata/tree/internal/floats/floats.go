@@ -1,0 +1,5 @@
+// Package floats violates the floatacc invariant.
+package floats
+
+// Same compares accumulated float values exactly.
+func Same(a, b float64) bool { return a == b }

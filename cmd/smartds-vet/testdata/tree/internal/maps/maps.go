@@ -1,0 +1,11 @@
+// Package maps violates the maporder invariant.
+package maps
+
+// Keys returns map keys in Go's randomized iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package randpkg violates the randsrc invariant.
+package randpkg
+
+import "math/rand"
+
+// Draw uses the global, unseeded stdlib generator.
+func Draw() int { return rand.Int() }

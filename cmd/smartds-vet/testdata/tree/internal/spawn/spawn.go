@@ -1,0 +1,7 @@
+// Package spawn violates the simspawn invariant.
+package spawn
+
+// Race starts a goroutine the cooperative scheduler cannot see.
+func Race(fn func()) {
+	go fn()
+}

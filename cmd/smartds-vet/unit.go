@@ -1,0 +1,198 @@
+package main
+
+// go vet -vettool support. The go command drives a vettool with three
+// entry points:
+//
+//   tool -V=full          version handshake for build caching
+//   tool -flags           JSON schema of the tool's flags
+//   tool [flags] pkg.cfg  analyze one package unit
+//
+// The .cfg file is a JSON description of a single type-checked package
+// unit: its Go files plus export-data files for every dependency
+// (already compiled by the go command). This mirrors
+// golang.org/x/tools/go/analysis/unitchecker on top of the standard
+// library's gc export-data importer.
+
+import (
+	"encoding/json"
+	goflag "flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// vetConfig is the subset of the go command's per-package vet config
+// this tool consumes.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	ImportMap  map[string]string
+	PackageFile map[string]string
+	Standard   map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// printFlagsJSON answers `tool -flags`: the go command passes through
+// only flags the tool advertises.
+func printFlagsJSON(stdout io.Writer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "run the " + a.Name + " analyzer"})
+		a.Flags.VisitAll(func(f *goflag.Flag) {
+			out = append(out, jsonFlag{
+				Name:  a.Name + "." + f.Name,
+				Bool:  isBoolFlag(f),
+				Usage: f.Usage,
+			})
+		})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(stdout, "%s\n", data)
+}
+
+// runUnit analyzes one package unit described by a vet config file.
+func runUnit(cfgFile string, enabled map[string]*bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "smartds-vet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "smartds-vet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// This tool exports no facts, but the go command expects the vetx
+	// output file to exist after a successful run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "smartds-vet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "smartds-vet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				importPath = mapped
+			}
+			return base.Import(importPath)
+		}),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "smartds-vet: %s: %v\n", cfg.ImportPath, typeErr)
+		return 2
+	}
+
+	var diags []diagnostic
+	for _, a := range analyzers {
+		if en, ok := enabled[a.Name]; ok && !*en {
+			continue
+		}
+		a := a
+		pass := newPass(a, fset, files, cfg.ImportPath, pkg, info, func(d diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(stderr, "smartds-vet: %s: %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 2
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].d.Pos), fset.Position(diags[j].d.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range diags {
+		// The go command relays vettool stderr verbatim; match the
+		// standard vet diagnostic shape.
+		fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.d.Pos), d.analyzer, d.d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// isBoolFlag reports whether a flag is boolean (the go command needs
+// to know to pass -x=true rather than -x true).
+func isBoolFlag(f *goflag.Flag) bool {
+	b, ok := f.Value.(interface{ IsBoolFlag() bool })
+	return ok && b.IsBoolFlag()
+}

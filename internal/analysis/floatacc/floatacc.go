@@ -1,0 +1,77 @@
+// Package floatacc flags `==` and `!=` between floating-point
+// expressions in internal/ packages. The bandwidth water-filling,
+// histogram quantile and virtual-clock code all manipulate float64;
+// exact equality there is either a latent bug (accumulated rounding
+// makes it flip) or an intentional exact-value check that deserves a
+// visible `//detcheck:floateq` justification. Ordering comparisons
+// (<, <=, >, >=) are allowed — the simulator's event calendar is
+// built on them.
+package floatacc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/disagg/smartds/internal/analysis/framework"
+)
+
+// Analyzer is the floatacc check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatacc",
+	Doc: "flag ==/!= between floating-point expressions in internal/ packages; " +
+		"use an epsilon, integer units, or annotate intentional exact checks with //detcheck:floateq",
+	Run: run,
+}
+
+var (
+	scope      string
+	checkTests bool
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "internal",
+		"only packages whose import path contains this segment are checked")
+	Analyzer.Flags.BoolVar(&checkTests, "tests", false,
+		"also check _test.go files (off by default: determinism tests assert "+
+			"bit-identical replay, so exact float comparison there is the point)")
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSegment(pass.PkgPath, scope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if !checkTests && strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if pass.Suppressed("floateq", be.Pos()) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison: use an epsilon or integer units, "+
+					"or annotate with //detcheck:floateq if exactness is intended", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a float kind
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

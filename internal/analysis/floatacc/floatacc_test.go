@@ -1,0 +1,14 @@
+package floatacc_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/floatacc"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatacc.Analyzer,
+		"example.com/internal/floatbad",
+	)
+}

@@ -1,0 +1,32 @@
+// Package floatbad exercises the floatacc triggers.
+package floatbad
+
+type stats struct{ min, max float64 }
+
+func bad(a, b float64, s stats) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != 0 { // want `floating-point != comparison`
+		return false
+	}
+	return s.min == s.max // want `floating-point == comparison`
+}
+
+func ordered(a, b float64) bool {
+	// Ordering comparisons are fine: the event calendar is built on them.
+	return a < b || a >= b
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func annotated(weightSum float64) bool {
+	//detcheck:floateq exact zero is a sentinel reset below
+	return weightSum == 0
+}
+
+func float32s(x, y float32) bool {
+	return x != y // want `floating-point != comparison`
+}

@@ -1,0 +1,123 @@
+// Package mapfix exercises the maporder triggers and every accepted
+// escape: sorted-after append, commutative effects, and the
+// //detcheck:ordered annotation.
+package mapfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appendUnsorted builds a slice in map order and returns it: flagged.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside map iteration builds a slice in map order`
+	}
+	return out
+}
+
+// appendThenSort is the canonical accepted idiom.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendToField emits into a struct field in map order: flagged.
+type holder struct{ names []string }
+
+func (h *holder) appendToField(m map[string]int) {
+	for k := range m {
+		h.names = append(h.names, k) // want `append inside map iteration builds a slice in map order`
+	}
+}
+
+// selectWinner picks a map-order-dependent winner on ties: flagged.
+func selectWinner(m map[string]float64) string {
+	best := ""
+	bestV := -1.0
+	for k, v := range m {
+		if v > bestV {
+			best, bestV = k, v // want `assignment selects a value that depends on map iteration order`
+		}
+	}
+	return best
+}
+
+// annotated carries a justification and is accepted.
+func annotated(m map[string]float64) string {
+	worst := ""
+	for k := range m { //detcheck:ordered any key is acceptable here
+		worst = k
+	}
+	return worst
+}
+
+// floatSum reorders rounding error: flagged.
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation over map iteration reorders rounding error`
+	}
+	return total
+}
+
+// intSum is exact and commutative: accepted.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// countOnly never references the iteration variables: accepted.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// deleteMatching mutates the ranged map only: accepted (delete is
+// per-key and commutative).
+func deleteMatching(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// invert writes into another map: accepted (per-key, last-write-wins).
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// printDirect emits formatted rows in map order: flagged.
+func printDirect(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want `call to ordered sink Fprintf inside map iteration`
+	}
+}
+
+// sinkMethod calls a known ordered sink with the loop key: flagged.
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...interface{}) { t.rows = append(t.rows, nil) }
+
+func sinkMethod(m map[string]int, t *table) {
+	for k := range m {
+		t.AddRow(k) // want `call to ordered sink AddRow inside map iteration`
+	}
+}

@@ -1,0 +1,61 @@
+// Package randsrc forbids importing the standard randomness packages
+// outside internal/rng. Every stochastic choice in the simulator must
+// flow from the seeded, splittable xoshiro source so whole experiments
+// replay bit-for-bit from one root seed; math/rand has global state,
+// math/rand/v2 auto-seeds, and crypto/rand is nondeterministic by
+// design.
+package randsrc
+
+import (
+	"strings"
+
+	"github.com/disagg/smartds/internal/analysis/framework"
+)
+
+// Analyzer is the randsrc check.
+var Analyzer = &framework.Analyzer{
+	Name: "randsrc",
+	Doc: "forbid importing math/rand, math/rand/v2 and crypto/rand outside internal/rng; " +
+		"all randomness must come from the seeded rng.Source",
+	Run: run,
+}
+
+var packages, allow string
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages",
+		"math/rand,math/rand/v2,crypto/rand",
+		"comma-separated import paths to forbid")
+	Analyzer.Flags.StringVar(&allow, "allow", "internal/rng",
+		"comma-separated import-path suffixes allowed to import the forbidden packages")
+}
+
+func run(pass *framework.Pass) error {
+	for _, suffix := range strings.Split(allow, ",") {
+		if suffix = strings.TrimSpace(suffix); suffix != "" &&
+			framework.PathHasSuffixSegments(pass.PkgPath, suffix) {
+			return nil
+		}
+	}
+	banned := map[string]bool{}
+	for _, p := range strings.Split(packages, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			banned[p] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !banned[path] {
+				continue
+			}
+			if pass.Suppressed("randsrc", imp.Pos()) {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s outside internal/rng: draw randomness from the seeded rng.Source "+
+					"so runs replay bit-for-bit", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package randbad imports every forbidden randomness source.
+package randbad
+
+import (
+	crand "crypto/rand"    // want `import of crypto/rand outside internal/rng`
+	"math/rand"            // want `import of math/rand outside internal/rng`
+	randv2 "math/rand/v2"  // want `import of math/rand/v2 outside internal/rng`
+)
+
+func use() {
+	_ = rand.Int()
+	_ = randv2.Int()
+	_, _ = crand.Read(make([]byte, 8))
+}

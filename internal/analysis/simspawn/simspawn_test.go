@@ -1,0 +1,15 @@
+package simspawn_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/simspawn"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), simspawn.Analyzer,
+		"example.com/internal/spawnbad",
+		"example.com/internal/sim",
+	)
+}

@@ -1,0 +1,26 @@
+// Package spawnbad exercises every simspawn trigger.
+package spawnbad
+
+func bad() {
+	ch := make(chan int, 1) // want `channel construction in simulation code`
+	go func() {             // want `bare go statement races the cooperative scheduler`
+		ch <- 1 // want `raw channel send synchronizes in host time`
+	}()
+	_ = <-ch // want `raw channel receive synchronizes in host time`
+	select { // want `select races channels in host time`
+	case v := <-ch: // want `raw channel receive synchronizes in host time`
+		_ = v
+	default:
+	}
+	for v := range ch { // want `range over channel synchronizes in host time`
+		_ = v
+	}
+}
+
+func annotated(done chan struct{}) {
+	//detcheck:spawn host-side watchdog outside virtual time
+	go func() {
+		//detcheck:spawn paired with the watchdog above
+		done <- struct{}{}
+	}()
+}

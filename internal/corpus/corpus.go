@@ -134,17 +134,13 @@ func New(seed uint64, opts ...Option) *Corpus {
 		gens[cl](root.Split(), buf)
 		c.streams[cl] = buf
 	}
-	for cl, w := range cfg.mix {
-		if w > 0 {
+	// Walk classes in id order rather than ranging over the mix map, so
+	// the weight table (and every Choice draw from it) is independent of
+	// Go's map iteration seed.
+	for cl := Class(0); cl < numClasses; cl++ {
+		if w := cfg.mix[cl]; w > 0 {
 			c.classes = append(c.classes, cl)
 			c.weights = append(c.weights, w)
-		}
-	}
-	// Deterministic iteration order: sort by class id.
-	for i := 1; i < len(c.classes); i++ {
-		for j := i; j > 0 && c.classes[j-1] > c.classes[j]; j-- {
-			c.classes[j-1], c.classes[j] = c.classes[j], c.classes[j-1]
-			c.weights[j-1], c.weights[j] = c.weights[j], c.weights[j-1]
 		}
 	}
 	if len(c.classes) == 0 {

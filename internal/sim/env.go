@@ -21,7 +21,7 @@ type calendar []*item
 
 func (c calendar) Len() int { return len(c) }
 func (c calendar) Less(i, j int) bool {
-	if c[i].t != c[j].t {
+	if c[i].t != c[j].t { //detcheck:floateq exact tie detection; ties fall through to the seq order
 		return c[i].t < c[j].t
 	}
 	return c[i].seq < c[j].seq

@@ -127,20 +127,34 @@ func (t *Tracer) Begin(at float64, component, name string, id uint64) {
 	t.open[key] = at
 }
 
-// evictStalest drops the oldest open span and counts it leaked.
+// evictStalest drops the oldest open span and counts it leaked. Ties
+// on the start time break on the span key, not on map iteration order,
+// so the evicted span (and the resulting leak accounting and later
+// end-unmatched events) is the same in every replay of a seed.
 func (t *Tracer) evictStalest() {
 	var oldest spanKey
 	oldestAt := -1.0
 	first := true
 	for k, at := range t.open {
-		if first || at < oldestAt {
-			oldest, oldestAt, first = k, at, false
+		if first || at < oldestAt || (at == oldestAt && keyLess(k, oldest)) { //detcheck:floateq exact tie on recorded timestamps
+			oldest, oldestAt, first = k, at, false //detcheck:ordered winner is total-ordered by (at, key)
 		}
 	}
 	if !first {
 		delete(t.open, oldest)
 		t.leaked++
 	}
+}
+
+// keyLess is the total order on span keys used to break eviction ties.
+func keyLess(a, b spanKey) bool {
+	if a.component != b.component {
+		return a.component < b.component
+	}
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	return a.id < b.id
 }
 
 // End closes a span, records it in the ring, and feeds the per-label
