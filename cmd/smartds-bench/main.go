@@ -7,16 +7,31 @@
 //	smartds-bench -exp all           # the whole evaluation
 //	smartds-bench -exp fig10 -quick  # fast, modeled-payload mode
 //	smartds-bench -list              # available experiment ids
+//
+// Telemetry artifacts (all deterministic for a fixed seed):
+//
+//	-report report.json      # machine-readable run report (regression gate input)
+//	-metrics metrics.prom    # OpenMetrics snapshot of every instrument
+//	-series-csv series.csv   # sampled time series, long-form CSV
+//	-series-json series.json # sampled time series with digests, JSON
+//
+// Profiling: -cpuprofile / -memprofile write pprof files covering the
+// experiment execution.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/disagg/smartds/internal/experiments"
+	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
 )
 
@@ -31,6 +46,12 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file covering every cluster run")
 	breakdown := flag.Bool("breakdown", false, "append per-stage latency breakdown tables (fig7, ext-reads)")
 	faultSpec := flag.String("faults", "", "ext-faults campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
+	reportFile := flag.String("report", "", "write the machine-readable run report (JSON) to this file")
+	metricsFile := flag.String("metrics", "", "write an OpenMetrics snapshot to this file")
+	seriesCSV := flag.String("series-csv", "", "write sampled time series as CSV to this file")
+	seriesJSON := flag.String("series-json", "", "write sampled time series as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.BoolVar(&csvOut, "csv", false, "emit tables as CSV")
 	flag.Parse()
 
@@ -39,9 +60,29 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown, FaultSpec: *faultSpec}
 	if *traceFile != "" {
 		opt.Trace = trace.New(1 << 18)
+	}
+	telemetryOn := *reportFile != "" || *metricsFile != "" || *seriesCSV != "" || *seriesJSON != ""
+	if telemetryOn {
+		opt.Telemetry = telemetry.NewRegistry()
 	}
 	start := time.Now()
 	if *exp == "all" {
@@ -52,20 +93,68 @@ func main() {
 		runOne(*exp, opt)
 	}
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err == nil {
-			err = opt.Trace.WriteChromeTrace(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		if err := writeFile(*traceFile, opt.Trace.WriteChromeTrace); err != nil {
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
 	}
+	if *reportFile != "" {
+		rep := opt.Telemetry.BuildReport(*exp, *seed, *quick, map[string]string{
+			"exp":       *exp,
+			"quick":     strconv.FormatBool(*quick),
+			"breakdown": strconv.FormatBool(*breakdown),
+			"faults":    *faultSpec,
+		})
+		if err := writeFile(*reportFile, func(w io.Writer) error {
+			return telemetry.WriteReport(w, rep)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportFile)
+	}
+	if *metricsFile != "" {
+		if err := writeFile(*metricsFile, opt.Telemetry.WriteOpenMetrics); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "OpenMetrics snapshot written to %s\n", *metricsFile)
+	}
+	if *seriesCSV != "" {
+		if err := writeFile(*seriesCSV, opt.Telemetry.WriteSeriesCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "time series (CSV) written to %s\n", *seriesCSV)
+	}
+	if *seriesJSON != "" {
+		if err := writeFile(*seriesJSON, opt.Telemetry.WriteSeriesJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "time series (JSON) written to %s\n", *seriesJSON)
+	}
+	if *memProfile != "" {
+		runtime.GC()
+		if err := writeFile(*memProfile, pprof.WriteHeapProfile); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }
 
 func runOne(name string, opt experiments.Options) {

@@ -1,0 +1,108 @@
+// Command smartds-report compares two machine-readable run reports
+// (written by smartds-bench -report) and enforces the performance
+// regression gate: it prints a per-run comparison table and exits
+// non-zero when any run's throughput dropped or tail latency inflated
+// beyond the gate thresholds, or when a baseline run vanished.
+//
+// Usage:
+//
+//	smartds-report baseline.json current.json
+//	smartds-report -baseline baseline.json current.json
+//	smartds-report -max-tput-drop 0.10 -max-p999-inflate 0.50 base.json cur.json
+//	smartds-report -show report.json   # print one report's runs, no gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/telemetry"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline report path (alternative to the first positional argument)")
+	show := flag.Bool("show", false, "print a single report's runs without comparing")
+	g := telemetry.DefaultGate()
+	flag.Float64Var(&g.MaxThroughputDrop, "max-tput-drop", g.MaxThroughputDrop,
+		"fail when throughput falls below baseline*(1-frac)")
+	flag.Float64Var(&g.MaxP999Inflate, "max-p999-inflate", g.MaxP999Inflate,
+		"fail when p999 rises above baseline*(1+frac)")
+	flag.Float64Var(&g.P999Floor, "p999-floor", g.P999Floor,
+		"ignore p999 inflation while the current p999 is under this many seconds")
+	minReq := flag.Uint64("min-requests", g.MinRequests,
+		"skip runs that measured fewer requests than this")
+	flag.Parse()
+	g.MinRequests = *minReq
+
+	args := flag.Args()
+	if *show {
+		if len(args) != 1 {
+			usage("-show takes exactly one report path")
+		}
+		rep, err := telemetry.LoadReport(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		printReport(rep)
+		return
+	}
+
+	basePath := *baseline
+	curPath := ""
+	switch {
+	case basePath != "" && len(args) == 1:
+		curPath = args[0]
+	case basePath == "" && len(args) == 2:
+		basePath, curPath = args[0], args[1]
+	default:
+		usage("need a baseline and a current report")
+	}
+
+	base, err := telemetry.LoadReport(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := telemetry.LoadReport(curPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	deltas, violations := telemetry.Compare(base, cur, g)
+	fmt.Println(telemetry.ComparisonTable(deltas).String())
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "regression gate FAILED (%d violations):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "regression gate passed: %d runs within thresholds\n", len(deltas))
+}
+
+// printReport renders one report's run records as a table.
+func printReport(rep *telemetry.Report) {
+	tbl := metrics.NewTable(fmt.Sprintf("run report %q (seed %d, quick=%v)", rep.Name, rep.Seed, rep.Quick),
+		"run", "requests", "errors", "throughput", "p50", "p99", "p999")
+	for _, rr := range rep.Runs {
+		tbl.AddRow(rr.Key(), rr.Requests, rr.Errors,
+			metrics.FormatGbps(rr.ThroughputBps),
+			metrics.FormatDuration(rr.Latency.P50),
+			metrics.FormatDuration(rr.Latency.P99),
+			metrics.FormatDuration(rr.Latency.P999))
+	}
+	fmt.Println(tbl.String())
+}
+
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "smartds-report: "+msg)
+	fmt.Fprintln(os.Stderr, "usage: smartds-report [flags] baseline.json current.json")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -121,3 +121,28 @@ func sinkMethod(m map[string]int, t *table) {
 		t.AddRow(k) // want `call to ordered sink AddRow inside map iteration`
 	}
 }
+
+// The telemetry-registry shapes: a label set built by collecting map
+// keys then sorting (accepted — the canonical MakeLabels idiom), and a
+// naive exporter writing OpenMetrics lines in raw map order (flagged —
+// exporters must iterate a sorted metric list).
+type tLabel struct{ k, v string }
+
+func makeLabels(m map[string]string) []tLabel {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]tLabel, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, tLabel{k: k, v: m[k]})
+	}
+	return out
+}
+
+func exportUnsorted(finals map[string]float64, b *strings.Builder) {
+	for name, v := range finals {
+		fmt.Fprintf(b, "%s %g\n", name, v) // want `call to ordered sink Fprintf inside map iteration`
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/disagg/smartds/internal/blockstore"
 	"github.com/disagg/smartds/internal/corpus"
+	"github.com/disagg/smartds/internal/faults"
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
@@ -18,6 +19,7 @@ import (
 	"github.com/disagg/smartds/internal/rng"
 	"github.com/disagg/smartds/internal/sim"
 	"github.com/disagg/smartds/internal/storage"
+	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
 )
 
@@ -37,6 +39,14 @@ type Config struct {
 	ClientPortRate float64
 	// Trace, when set, records request lifecycle spans.
 	Trace *trace.Tracer
+	// Telemetry, when set, registers this cluster's instruments with
+	// the central registry: each Run opens a run scope labeled
+	// (TelemetryExp, design, run-seq), samples every gauge/counter on
+	// the registry's sim-clock cadence, and records the run's results
+	// for the machine-readable report.
+	Telemetry *telemetry.Registry
+	// TelemetryExp labels the run records with the owning experiment.
+	TelemetryExp string
 }
 
 // DefaultConfig wires the paper's testbed: one middle-tier server,
@@ -66,6 +76,11 @@ type Cluster struct {
 	corpus *corpus.Corpus
 	rng    *rng.Source
 	geo    blockstore.Geometry
+
+	// Fault campaign armed by ApplyFaults; Run attaches its recovery
+	// summary to the telemetry run record.
+	inj        *faults.Injector
+	faultSched *faults.Schedule
 }
 
 // New builds and wires a cluster.

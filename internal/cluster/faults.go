@@ -32,6 +32,8 @@ func (c *Cluster) ApplyFaults(sched *faults.Schedule) (*faults.Injector, error) 
 	for _, cl := range c.Clients {
 		cl.completionHook = inj.Monitor.OnCompletion
 	}
+	c.inj = inj
+	c.faultSched = sched
 	return inj, nil
 }
 

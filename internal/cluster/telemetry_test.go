@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/faults"
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/telemetry"
+)
+
+// telemetryRun executes one small instrumented run and returns the
+// registry plus the cluster's results.
+func telemetryRun(t *testing.T, kind middletier.Kind, faultSpec string) (*telemetry.Registry, Results) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg := smallCfg(kind)
+	cfg.Functional = false
+	cfg.Telemetry = reg
+	cfg.TelemetryExp = "test"
+	c := New(cfg)
+	if faultSpec != "" {
+		sched, err := faults.Parse(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ApplyFaults(sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := c.Run(Workload{Window: 16, Warmup: 2e-3, Measure: 8e-3})
+	return reg, res
+}
+
+func TestTelemetryWiring(t *testing.T) {
+	for _, kind := range []middletier.Kind{middletier.CPUOnly, middletier.Accel, middletier.BF2, middletier.SmartDS} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			reg, res := telemetryRun(t, kind, "")
+			runs := reg.Runs()
+			if len(runs) != 1 {
+				t.Fatalf("run records = %d, want 1", len(runs))
+			}
+			rr := runs[0]
+			if rr.Experiment != "test" || rr.Requests != res.Requests ||
+				rr.Errors != res.Errors || rr.ThroughputBps != res.Throughput {
+				t.Fatalf("run record %+v does not match results %+v", rr, res)
+			}
+			if rr.Latency.P999 != res.Lat.P999 {
+				t.Fatalf("latency summary mismatch")
+			}
+			// The client-side counter final must agree with the measured
+			// request count (both read the same Done counters).
+			if got := rr.Counters["smartds_client_requests_total"]; got != float64(res.Requests) {
+				t.Fatalf("counter final %g != measured requests %d", got, res.Requests)
+			}
+			// Time series were sampled over an 8 ms window on the default
+			// 100 µs cadence: every scope counter/gauge has points.
+			rep := reg.BuildReport("t", 42, true, nil)
+			if len(rep.Series) == 0 {
+				t.Fatalf("no sampled series in report")
+			}
+			for _, se := range rep.Series {
+				if se.Digest.Points == 0 {
+					t.Fatalf("series %s%v sampled no points", se.Name, se.Labels)
+				}
+			}
+			// Designs with hardware engines expose occupancy + HBM gauges.
+			if kind == middletier.BF2 || kind == middletier.SmartDS {
+				var om bytes.Buffer
+				if err := reg.WriteOpenMetrics(&om); err != nil {
+					t.Fatal(err)
+				}
+				for _, want := range []string{"smartds_engine_bytes_total", "smartds_hbm_bytes_per_sec"} {
+					if !strings.Contains(om.String(), want) {
+						t.Fatalf("%v snapshot missing %s", kind, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTelemetryFaultSummaryAttached(t *testing.T) {
+	reg, _ := telemetryRun(t, middletier.SmartDS, "crash:ss0@3ms+2ms")
+	rr := reg.Runs()[0]
+	if rr.Faults == nil {
+		t.Fatalf("no fault summary on run record")
+	}
+	if len(rr.Faults.Recoveries) != 1 {
+		t.Fatalf("recoveries = %+v, want 1 entry", rr.Faults.Recoveries)
+	}
+	ttr := rr.Faults.Recoveries[0]
+	if ttr.Kind != "crash" || ttr.Target != "ss0" || ttr.Start != 3e-3 {
+		t.Fatalf("TTR = %+v", ttr)
+	}
+	if ttr.TimeToRecover < 0 {
+		t.Fatalf("service never recovered: %+v", ttr)
+	}
+	// Transport and degraded-mode counters must have registered the
+	// campaign: go-back-N retransmitted into the dark server, and the
+	// middle tier placed writes on fewer replicas while it was gone.
+	var retransmits float64
+	for name, v := range rr.Counters { //detcheck:ordered integer-valued counters, the sum is order-independent
+		if strings.HasPrefix(name, "smartds_rdma_retransmits_total") {
+			retransmits += v
+		}
+	}
+	if retransmits == 0 {
+		t.Fatalf("no retransmits recorded despite storage crash: %v", rr.Counters)
+	}
+	if rr.Counters["smartds_mt_degraded_total"] == 0 {
+		t.Fatalf("no degraded placements recorded despite storage crash: %v", rr.Counters)
+	}
+}
+
+// TestTelemetryGoldenDeterminism pins the PR's headline contract: two
+// same-seed instrumented runs produce byte-identical run reports and
+// OpenMetrics snapshots. Runs under CI's -count=1 golden step.
+func TestTelemetryGoldenDeterminism(t *testing.T) {
+	artifact := func() (string, string) {
+		reg, _ := telemetryRun(t, middletier.SmartDS, "crash:ss0@3ms+2ms")
+		rep := reg.BuildReport("golden", 42, true, map[string]string{"exp": "test"})
+		var rj, om bytes.Buffer
+		if err := telemetry.WriteReport(&rj, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteOpenMetrics(&om); err != nil {
+			t.Fatal(err)
+		}
+		return rj.String(), om.String()
+	}
+	rep1, om1 := artifact()
+	rep2, om2 := artifact()
+	if rep1 != rep2 {
+		t.Fatalf("same-seed run reports differ:\n--- first ---\n%.2000s\n--- second ---\n%.2000s", rep1, rep2)
+	}
+	if om1 != om2 {
+		t.Fatalf("same-seed OpenMetrics snapshots differ:\n--- first ---\n%.2000s\n--- second ---\n%.2000s", om1, om2)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/pcie"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/telemetry"
 )
 
 // Workload drives the cluster. With Rate == 0 each client runs a
@@ -142,6 +143,15 @@ func (c *Cluster) Run(w Workload) Results {
 		cl.BytesMoved = 0
 	}
 
+	// Open a telemetry run scope: one record per Run invocation, with
+	// every layer's instruments registered under (exp, design, run-seq)
+	// labels and sampled on the registry's sim-clock cadence.
+	var scope *telemetry.RunScope
+	if c.cfg.Telemetry != nil {
+		scope = c.cfg.Telemetry.NewRun(c.cfg.TelemetryExp, c.KindName(), c.cfg.Seed)
+		c.instrument(scope)
+	}
+
 	if w.Rate > 0 {
 		perClient := w.Rate / float64(len(c.Clients))
 		for _, cl := range c.Clients {
@@ -189,6 +199,9 @@ func (c *Cluster) Run(w Workload) Results {
 	}
 
 	start := c.Env.Now()
+	if scope != nil {
+		scope.StartSampling(c.Env, start+w.Warmup+w.Measure)
+	}
 	// Export periodic resource-utilization counters alongside the request
 	// spans: middle-tier memory and PCIe bandwidth plus the first
 	// client's NIC PSLink, sampled on a fixed virtual-time grid so
@@ -265,6 +278,13 @@ func (c *Cluster) Run(w Workload) Results {
 	res.NICH2D, res.NICD2H = pcie.RatesBetween(nicA, nicB)
 	res.AccelH2D, res.AccelD2H = pcie.RatesBetween(accA, accB)
 	res.SDSH2D, res.SDSD2H = pcie.RatesBetween(sdsA, sdsB)
+	if scope != nil {
+		scope.RecordResults(res.Duration, res.Requests, res.Errors,
+			res.Throughput, res.ReqPerSec, res.Lat)
+		if c.inj != nil && c.faultSched != nil {
+			scope.RecordFaults(faultSummary(c.inj.Monitor.Stats(c.faultSched)))
+		}
+	}
 	return res
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/storage"
+	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
 )
 
@@ -41,6 +42,14 @@ type Options struct {
 	// FaultSpec overrides the ext-faults campaign schedule (see
 	// internal/faults for the grammar). Empty uses DefaultFaultSpec.
 	FaultSpec string
+	// Telemetry, when set, collects every cluster's instruments and run
+	// records into the central registry; Run threads the experiment id
+	// into the run labels automatically.
+	Telemetry *telemetry.Registry
+
+	// exp is the currently-executing experiment id (set by Run), used
+	// to label telemetry run records.
+	exp string
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -72,6 +81,8 @@ func (o Options) newCluster(kind middletier.Kind, mutate func(*cluster.Config)) 
 	cfg.Functional = o.functional()
 	cfg.Disk = expDisk()
 	cfg.Trace = o.Trace
+	cfg.Telemetry = o.Telemetry
+	cfg.TelemetryExp = o.exp
 	if mutate != nil {
 		mutate(&cfg)
 	}

@@ -54,6 +54,7 @@ func Run(name string, opt Options) ([]*metrics.Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	opt.exp = name
 	return r(opt), nil
 }
 

@@ -108,6 +108,40 @@ func (h *Histogram) Min() float64 {
 	return h.minSeen
 }
 
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bucket is one cumulative histogram bucket: Count samples fell at or
+// below UpperBound. The OpenMetrics exporter maps it onto the
+// `_bucket{le=...}` encoding.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// bucketUpper returns the exclusive upper boundary of bucket i.
+func (h *Histogram) bucketUpper(i int) float64 {
+	return h.min * math.Pow(10, float64(i+1)/float64(h.perDecade))
+}
+
+// Buckets returns the cumulative bucket view in ascending boundary
+// order. The first bucket's boundary is the histogram minimum (it
+// carries the under-range count), the last is +Inf (it carries the
+// total count, including over-range samples) — exactly the invariants
+// the OpenMetrics histogram encoding requires. Counts are monotone
+// non-decreasing.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.buckets)+2)
+	cum := h.under
+	out = append(out, Bucket{UpperBound: h.min, Count: cum})
+	for i, c := range h.buckets {
+		cum += c
+		out = append(out, Bucket{UpperBound: h.bucketUpper(i), Count: cum})
+	}
+	out = append(out, Bucket{UpperBound: math.Inf(1), Count: h.count})
+	return out
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) with the histogram's
 // bucket resolution. Out-of-range samples clamp to the tracked extremes.
 func (h *Histogram) Quantile(q float64) float64 {

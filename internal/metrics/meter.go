@@ -24,19 +24,28 @@ func (m *Meter) Total() float64 { return m.total }
 
 // MarkWindow closes the current window at time t and opens a new one,
 // returning the average rate (amount/second) over the closed window.
+//
+// A zero-width window — two marks at the same sim instant, which the
+// telemetry sampler can legitimately produce when a sample tick
+// coincides with a window boundary — returns 0 and leaves the window
+// open (the mark does not move), so the accumulated amount is counted
+// in the next real window instead of vanishing and no Inf/NaN rate can
+// ever poison an exported series. Marks in the past are likewise
+// no-ops: the window never moves backwards.
 func (m *Meter) MarkWindow(t float64) float64 {
 	dt := t - m.markAt
-	var rate float64
-	if dt > 0 {
-		rate = (m.total - m.mark) / dt
+	if dt <= 0 {
+		return 0
 	}
+	rate := (m.total - m.mark) / dt
 	m.mark = m.total
 	m.markAt = t
 	return rate
 }
 
 // RateSince returns the average rate between time t and the last mark
-// without closing the window.
+// without closing the window. Zero-width (or backwards) windows report
+// a rate of 0, never Inf/NaN.
 func (m *Meter) RateSince(t float64) float64 {
 	dt := t - m.markAt
 	if dt <= 0 {
@@ -46,7 +55,8 @@ func (m *Meter) RateSince(t float64) float64 {
 }
 
 // LifetimeRate returns the average rate from the meter's creation to
-// time t, independent of any window marks.
+// time t, independent of any window marks. Querying at (or before) the
+// creation instant reports 0, never Inf/NaN.
 func (m *Meter) LifetimeRate(t float64) float64 {
 	dt := t - m.started
 	if dt <= 0 {

@@ -338,3 +338,109 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
 	}
 }
+
+func TestMeterZeroWidthWindows(t *testing.T) {
+	m := NewMeter(1.0)
+	m.Add(100)
+	// Two marks at the same sim instant: the second must report 0 (not
+	// Inf/NaN) and must NOT swallow the accumulated amount.
+	if r := m.MarkWindow(2.0); r != 100 {
+		t.Fatalf("first window rate = %g, want 100", r)
+	}
+	m.Add(50)
+	if r := m.MarkWindow(2.0); r != 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("zero-width window rate = %g, want 0", r)
+	}
+	// The 50 units stayed in the open window and land in the next one.
+	if r := m.MarkWindow(3.0); r != 50 {
+		t.Fatalf("post-zero-width window rate = %g, want 50", r)
+	}
+	// Backwards marks are no-ops too.
+	if r := m.MarkWindow(2.5); r != 0 {
+		t.Fatalf("backwards window rate = %g, want 0", r)
+	}
+	m.Add(10)
+	if r := m.MarkWindow(4.0); r != 10 {
+		t.Fatalf("window after backwards mark = %g, want 10 (mark must not move back)", r)
+	}
+
+	// RateSince / LifetimeRate at the mark/creation instant.
+	m2 := NewMeter(5.0)
+	m2.Add(42)
+	for _, r := range []float64{m2.RateSince(5.0), m2.RateSince(4.0), m2.LifetimeRate(5.0)} {
+		if r != 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("zero-width query = %g, want 0", r)
+		}
+	}
+	if r := m2.LifetimeRate(7.0); r != 21 {
+		t.Fatalf("lifetime rate = %g, want 21", r)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewLatencyHistogram()
+	var samples []float64
+	// Deterministic spread across several decades plus out-of-range mass.
+	for i := 1; i <= 500; i++ {
+		v := 100e-9 * math.Pow(10, float64(i%7)) * (1 + float64(i)/500)
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	h.Record(1e-9) // under range
+	h.Record(100)  // over range
+	samples = append(samples, 1e-9, 100)
+
+	bs := h.Buckets()
+	if len(bs) < 3 {
+		t.Fatalf("too few buckets: %d", len(bs))
+	}
+	// Invariants: ascending bounds, monotone counts, first bound = min,
+	// last = +Inf carrying the total count.
+	for i := 1; i < len(bs); i++ {
+		if !(bs[i].UpperBound > bs[i-1].UpperBound) {
+			t.Fatalf("bucket bounds not ascending at %d: %g <= %g", i, bs[i].UpperBound, bs[i-1].UpperBound)
+		}
+		if bs[i].Count < bs[i-1].Count {
+			t.Fatalf("cumulative counts not monotone at %d", i)
+		}
+	}
+	if bs[0].UpperBound != 100e-9 {
+		t.Fatalf("first bound = %g, want histogram min", bs[0].UpperBound)
+	}
+	if bs[0].Count != 1 {
+		t.Fatalf("under-range count = %d, want 1", bs[0].Count)
+	}
+	if !math.IsInf(bs[len(bs)-1].UpperBound, 1) || bs[len(bs)-1].Count != h.Count() {
+		t.Fatalf("final bucket must be +Inf with total count")
+	}
+
+	// Pin the boundaries against ExactQuantile: for each quantile, the
+	// first bucket whose cumulative count reaches ceil(q*n) must have
+	// the exact quantile at or below its upper bound, and above the
+	// previous bound (the same bracketing Quantile() relies on).
+	n := float64(h.Count())
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		target := uint64(math.Ceil(q * n))
+		exact := ExactQuantile(samples, q)
+		for i, b := range bs {
+			if b.Count >= target {
+				if exact > b.UpperBound {
+					t.Fatalf("q=%g: exact %g above bucket bound %g", q, exact, b.UpperBound)
+				}
+				if i > 0 && exact <= bs[i-1].UpperBound && bs[i-1].Count < target {
+					t.Fatalf("q=%g: exact %g below previous bound %g", q, exact, bs[i-1].UpperBound)
+				}
+				break
+			}
+		}
+	}
+
+	// Sum matches what was recorded.
+	want := 0.0
+	for _, v := range samples {
+		want += v
+	}
+	if diff := math.Abs(h.Sum() - want); diff > 1e-9*want {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), want)
+	}
+}

@@ -390,6 +390,81 @@ func (s *Server) Device() *core.Device { return s.sds }
 // CPUPool exposes the host CPU pool.
 func (s *Server) CPUPool() *host.Pool { return s.cpu }
 
+// InflightFanouts reports how many client requests currently have
+// replication fan-outs outstanding toward storage — the instantaneous
+// fan-out depth the telemetry sampler records.
+func (s *Server) InflightFanouts() int { return len(s.pending) }
+
+// Engines returns the hardware compression engines of this design in
+// stable index order: the BF2 SoC engine, or SmartDS's per-port
+// engines. CPUOnly/Accel (software or slot-modeled compression) return
+// nil.
+func (s *Server) Engines() []*device.LZ4Engine {
+	switch {
+	case s.bf2Engine != nil:
+		return []*device.LZ4Engine{s.bf2Engine}
+	case s.sds != nil:
+		out := make([]*device.LZ4Engine, 0, s.sds.Ports())
+		for i := 0; i < s.sds.Ports(); i++ {
+			inst, err := s.sds.OpenRoCEInstance(i)
+			if err != nil {
+				break
+			}
+			out = append(out, inst.Engine())
+		}
+		return out
+	}
+	return nil
+}
+
+// DeviceMemory returns the on-card memory of this design — the BF2
+// SoC DRAM or the SmartDS HBM. Designs without a card memory (CPUOnly,
+// Accel) return nil.
+func (s *Server) DeviceMemory() *device.Memory {
+	switch {
+	case s.bf2Mem != nil:
+		return s.bf2Mem
+	case s.sds != nil:
+		return s.sds.HBM()
+	}
+	return nil
+}
+
+// TransportStacks returns every RDMA stack terminating client or
+// storage traffic on this server, in stable port order: the host NIC's
+// stack (CPUOnly/Accel), the BF2 SoC stacks, or SmartDS's per-port
+// instance stacks.
+func (s *Server) TransportStacks() []*rdma.Stack {
+	switch {
+	case s.nic != nil:
+		return []*rdma.Stack{s.nic.Stack()}
+	case len(s.bf2Stacks) > 0:
+		return append([]*rdma.Stack(nil), s.bf2Stacks...)
+	case s.sds != nil:
+		out := make([]*rdma.Stack, 0, s.sds.Ports())
+		for i := 0; i < s.sds.Ports(); i++ {
+			inst, err := s.sds.OpenRoCEInstance(i)
+			if err != nil {
+				break
+			}
+			out = append(out, inst.Stack())
+		}
+		return out
+	}
+	return nil
+}
+
+// NetPorts returns the fabric ports behind TransportStacks, in the
+// same order.
+func (s *Server) NetPorts() []*netsim.Port {
+	stacks := s.TransportStacks()
+	out := make([]*netsim.Port, 0, len(stacks))
+	for _, st := range stacks {
+		out = append(out, st.Port())
+	}
+	return out
+}
+
 // effortTimeFactor scales software compression time by level: deeper
 // match searches cost more core time (LZ4 -> LZ4HC-like growth).
 func effortTimeFactor(level lz4.Level) float64 {

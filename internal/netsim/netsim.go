@@ -159,6 +159,12 @@ func (p *Port) RxStats() sim.LinkStats { return p.rx.Snapshot() }
 // Rate returns the port's per-direction capacity in bytes/second.
 func (p *Port) Rate() float64 { return p.tx.Rate() }
 
+// TxQueueLen and RxQueueLen report the number of transfers currently
+// serializing through each direction of the port — the instantaneous
+// queue depth the telemetry sampler records per sim-clock tick.
+func (p *Port) TxQueueLen() int { return p.tx.InFlight() }
+func (p *Port) RxQueueLen() int { return p.rx.InFlight() }
+
 // SetRate rescales both directions of the port mid-run (link-rate
 // degradation faults). In-flight transfers continue at the new rate.
 func (p *Port) SetRate(bytesPerSec float64) {

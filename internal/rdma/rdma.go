@@ -78,6 +78,7 @@ type Stack struct {
 	qps     map[int]*QP
 	next    int
 	spanSeq uint64 // send span correlation ids, unique per stack
+	resets  uint64 // QP resets performed on this stack (telemetry)
 }
 
 // traceName is the stack's trace track ("rdma.<addr>").
@@ -120,6 +121,32 @@ func (s *Stack) Port() *netsim.Port { return s.port }
 
 // Addr returns the stack's fabric address.
 func (s *Stack) Addr() netsim.Addr { return s.port.Addr() }
+
+// Stats is the aggregate transport health of one stack: how many queue
+// pairs exist, how hard go-back-N is working, and how much is still in
+// flight. The telemetry layer samples it per middle-tier / storage NIC.
+type Stats struct {
+	QPs         int    // allocated queue pairs
+	Retransmits uint64 // cumulative go-back-N resends across all QPs
+	Resets      uint64 // QP resets (Reconnect incarnations) on this stack
+	Broken      int    // QPs currently wedged awaiting Reconnect
+	Unacked     int    // sends posted but not yet acked (in flight)
+}
+
+// Stats aggregates transport counters across the stack's queue pairs.
+// The map walk accumulates only commutative integer sums, so iteration
+// order cannot leak into the result.
+func (s *Stack) Stats() Stats {
+	st := Stats{QPs: len(s.qps), Resets: s.resets}
+	for _, qp := range s.qps {
+		st.Retransmits += qp.retransmits
+		st.Unacked += len(qp.unacked)
+		if qp.broken {
+			st.Broken++
+		}
+	}
+	return st
+}
 
 // QP is one side of a reliable connection.
 type QP struct {
@@ -213,6 +240,7 @@ func Reconnect(a, b *QP) {
 
 // reset aborts outstanding sends and restarts the QP at a new epoch.
 func (qp *QP) reset(epoch uint32) {
+	qp.stack.resets++
 	failed := qp.unacked
 	qp.unacked = nil
 	qp.sendSeq = 0

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"github.com/disagg/smartds/internal/metrics"
+)
+
+// Gate is the regression policy cmd/smartds-report enforces: how much
+// a run may slow down relative to the baseline report before the
+// comparison fails.
+type Gate struct {
+	// MaxThroughputDrop fails a run whose throughput fell below
+	// baseline*(1-frac). 0.05 = 5%.
+	MaxThroughputDrop float64
+	// MaxP999Inflate fails a run whose p999 latency rose above
+	// baseline*(1+frac).
+	MaxP999Inflate float64
+	// P999Floor ignores p999 inflation while both sides sit under this
+	// many seconds — relative noise on microsecond tails is meaningless.
+	P999Floor float64
+	// MinRequests skips runs that measured fewer requests than this
+	// (tiny windows are all noise).
+	MinRequests uint64
+}
+
+// DefaultGate returns the CI policy: 5% throughput drop, 25% p999
+// inflation above a 25 µs floor, runs of at least 50 requests.
+func DefaultGate() Gate {
+	return Gate{
+		MaxThroughputDrop: 0.05,
+		MaxP999Inflate:    0.25,
+		P999Floor:         25e-6,
+		MinRequests:       50,
+	}
+}
+
+// RunDelta is one matched run pair's comparison.
+type RunDelta struct {
+	Key        string
+	Base, Cur  *RunRecord
+	Violations []string
+}
+
+// ThroughputRatio returns cur/base throughput (0 when base is zero).
+func (d RunDelta) ThroughputRatio() float64 {
+	if d.Base.ThroughputBps <= 0 {
+		return 0
+	}
+	return d.Cur.ThroughputBps / d.Base.ThroughputBps
+}
+
+// P999Ratio returns cur/base p999 (0 when base is zero).
+func (d RunDelta) P999Ratio() float64 {
+	if d.Base.Latency.P999 <= 0 {
+		return 0
+	}
+	return d.Cur.Latency.P999 / d.Base.Latency.P999
+}
+
+// Compare matches the two reports' runs by key and applies the gate.
+// It returns every matched pair (baseline order) plus the flat list of
+// violations; an empty violation list means the gate passes. Runs only
+// present in the current report are informational; runs missing from
+// the current report violate the gate (a benchmark silently vanishing
+// must not pass CI).
+func Compare(base, cur *Report, g Gate) ([]RunDelta, []string) {
+	curByKey := make(map[string]*RunRecord, len(cur.Runs))
+	for _, rr := range cur.Runs {
+		curByKey[rr.Key()] = rr
+	}
+	var deltas []RunDelta
+	var violations []string
+	for _, b := range base.Runs {
+		c, ok := curByKey[b.Key()]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from current report", b.Key()))
+			continue
+		}
+		d := RunDelta{Key: b.Key(), Base: b, Cur: c}
+		if b.Requests >= g.MinRequests && c.Requests >= g.MinRequests {
+			if g.MaxThroughputDrop > 0 && b.ThroughputBps > 0 &&
+				c.ThroughputBps < b.ThroughputBps*(1-g.MaxThroughputDrop) {
+				d.Violations = append(d.Violations, fmt.Sprintf(
+					"throughput regressed %.1f%%: %s -> %s (gate %.0f%%)",
+					(1-d.ThroughputRatio())*100,
+					metrics.FormatGbps(b.ThroughputBps), metrics.FormatGbps(c.ThroughputBps),
+					g.MaxThroughputDrop*100))
+			}
+			if g.MaxP999Inflate > 0 && b.Latency.P999 > 0 &&
+				c.Latency.P999 > g.P999Floor &&
+				c.Latency.P999 > b.Latency.P999*(1+g.MaxP999Inflate) {
+				d.Violations = append(d.Violations, fmt.Sprintf(
+					"p999 inflated %.1f%%: %s -> %s (gate %.0f%% above %s)",
+					(d.P999Ratio()-1)*100,
+					metrics.FormatDuration(b.Latency.P999), metrics.FormatDuration(c.Latency.P999),
+					g.MaxP999Inflate*100, metrics.FormatDuration(g.P999Floor)))
+			}
+			if c.Errors > b.Errors {
+				d.Violations = append(d.Violations, fmt.Sprintf(
+					"errors grew: %d -> %d", b.Errors, c.Errors))
+			}
+		}
+		for _, v := range d.Violations {
+			violations = append(violations, d.Key+": "+v)
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, violations
+}
+
+// ComparisonTable renders the matched runs as a paper-style table.
+func ComparisonTable(deltas []RunDelta) *metrics.Table {
+	tbl := metrics.NewTable("run report comparison (baseline vs current)",
+		"run", "throughput", "Δ%", "p999", "Δ%", "errors", "verdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		if len(d.Violations) > 0 {
+			verdict = "FAIL"
+		}
+		tbl.AddRow(d.Key,
+			fmt.Sprintf("%s -> %s", metrics.FormatGbps(d.Base.ThroughputBps),
+				metrics.FormatGbps(d.Cur.ThroughputBps)),
+			pctDelta(d.ThroughputRatio()),
+			fmt.Sprintf("%s -> %s", metrics.FormatDuration(d.Base.Latency.P999),
+				metrics.FormatDuration(d.Cur.Latency.P999)),
+			pctDelta(d.P999Ratio()),
+			fmt.Sprintf("%d -> %d", d.Base.Errors, d.Cur.Errors),
+			verdict)
+	}
+	return tbl
+}
+
+// pctDelta renders a cur/base ratio as a signed percentage.
+func pctDelta(ratio float64) string {
+	if ratio == 0 { //detcheck:floateq exact zero is the "no baseline" sentinel, never computed
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

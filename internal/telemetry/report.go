@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// ReportSchema identifies the run-report JSON layout.
+const ReportSchema = "smartds-run-report/v1"
+
+// LatencySummary is the client-observed latency digest of one run.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_sec"`
+	P50   float64 `json:"p50_sec"`
+	P99   float64 `json:"p99_sec"`
+	P999  float64 `json:"p999_sec"`
+	Max   float64 `json:"max_sec"`
+}
+
+// SummarizeLatency converts a metrics.Summary.
+func SummarizeLatency(s metrics.Summary) LatencySummary {
+	return LatencySummary{Count: s.Count, Mean: s.Mean, P50: s.P50,
+		P99: s.P99, P999: s.P999, Max: s.Max}
+}
+
+// TTR is one fault event's recovery time (negative: never recovered).
+type TTR struct {
+	Kind          string  `json:"kind"`
+	Target        string  `json:"target"`
+	Start         float64 `json:"start_sec"`
+	TimeToRecover float64 `json:"ttr_sec"`
+}
+
+// FaultSummary carries the recovery metrics of a fault campaign into
+// the run report (mirrors faults.Stats without importing it).
+type FaultSummary struct {
+	BaselineP99    float64 `json:"baseline_p99_sec"`
+	MaxGap         float64 `json:"max_gap_sec"`
+	Unavailable    float64 `json:"unavailable_sec"`
+	ElevatedWindow float64 `json:"elevated_window_sec"`
+	Errors         int     `json:"errors"`
+	Recoveries     []TTR   `json:"recoveries,omitempty"`
+}
+
+// RunRecord is one cluster.Run's machine-readable result. Matched
+// across reports by (Experiment, Design, Seq).
+type RunRecord struct {
+	Experiment string `json:"experiment"`
+	Design     string `json:"design"`
+	Seq        int    `json:"seq"`
+	Seed       uint64 `json:"seed"`
+
+	Duration      float64 `json:"duration_sec"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	ThroughputBps float64 `json:"throughput_bytes_per_sec"`
+	ReqPerSec     float64 `json:"req_per_sec"`
+
+	Latency  LatencySummary     `json:"latency"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+	Faults   *FaultSummary      `json:"faults,omitempty"`
+}
+
+// Key is the cross-report matching identity of a run.
+func (rr *RunRecord) Key() string {
+	return rr.Experiment + "/" + rr.Design + "#" + strconv.Itoa(rr.Seq)
+}
+
+// RunScope binds one cluster run to the registry: instruments
+// registered through it share the (exp, design, run) labels, get
+// sampled together, and their finals land in the run's record.
+type RunScope struct {
+	reg     *Registry
+	rec     *RunRecord
+	labels  LabelSet
+	metrics []*Metric
+	short   map[*Metric]string
+}
+
+// NewRun opens a scope for one cluster run. Seq is assigned per
+// (experiment, design) in creation order, so same-seed executions
+// produce identical keys.
+func (r *Registry) NewRun(experiment, design string, seed uint64) *RunScope {
+	if experiment == "" {
+		experiment = "adhoc"
+	}
+	seqKey := experiment + "/" + design
+	seq := r.runSeq[seqKey]
+	r.runSeq[seqKey] = seq + 1
+	rec := &RunRecord{Experiment: experiment, Design: design, Seq: seq, Seed: seed}
+	r.runs = append(r.runs, rec)
+	return &RunScope{
+		reg: r,
+		rec: rec,
+		labels: MakeLabels(map[string]string{
+			"exp": experiment, "design": design, "run": strconv.Itoa(seq),
+		}),
+		short: make(map[*Metric]string),
+	}
+}
+
+// Record returns the scope's run record.
+func (sc *RunScope) Record() *RunRecord { return sc.rec }
+
+// scoped merges extra dimensions into the scope labels and remembers
+// the metric plus its short (scope-independent) counter key.
+func (sc *RunScope) scoped(m *Metric, name string, extra map[string]string) *Metric {
+	sc.metrics = append(sc.metrics, m)
+	sc.short[m] = name + MakeLabels(extra).String()
+	return m
+}
+
+func (sc *RunScope) mergeLabels(extra map[string]string) LabelSet {
+	ls := sc.labels
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ls = ls.With(k, extra[k])
+	}
+	return ls
+}
+
+// CounterFunc registers a pull counter under the scope's labels.
+func (sc *RunScope) CounterFunc(name, help string, extra map[string]string, fn func() float64) *Metric {
+	return sc.scoped(sc.reg.CounterFunc(name, help, sc.mergeLabels(extra), fn), name, extra)
+}
+
+// GaugeFunc registers a pull gauge under the scope's labels.
+func (sc *RunScope) GaugeFunc(name, help string, extra map[string]string, fn func() float64) *Metric {
+	return sc.scoped(sc.reg.GaugeFunc(name, help, sc.mergeLabels(extra), fn), name, extra)
+}
+
+// Histogram registers a histogram under the scope's labels.
+func (sc *RunScope) Histogram(name, help string, extra map[string]string, h *metrics.Histogram) *Metric {
+	return sc.scoped(sc.reg.Histogram(name, help, sc.mergeLabels(extra), h), name, extra)
+}
+
+// StartSampling begins ring-buffered time-series recording of every
+// scope counter/gauge on the registry's sim-clock cadence until stop.
+func (sc *RunScope) StartSampling(env *sim.Env, stop float64) *Sampler {
+	s := sc.reg.NewSampler(env, sc.metrics)
+	s.Run(stop)
+	return s
+}
+
+// RecordResults fills the run record with the measured outcome and
+// snapshots every scope counter/gauge final under its short key.
+func (sc *RunScope) RecordResults(duration float64, requests, errors uint64,
+	throughputBps, reqPerSec float64, lat metrics.Summary) {
+	sc.rec.Duration = duration
+	sc.rec.Requests = requests
+	sc.rec.Errors = errors
+	sc.rec.ThroughputBps = throughputBps
+	sc.rec.ReqPerSec = reqPerSec
+	sc.rec.Latency = SummarizeLatency(lat)
+	finals := make(map[string]float64, len(sc.metrics))
+	for _, m := range sc.metrics {
+		if m.kind == KindHistogram {
+			continue
+		}
+		finals[sc.short[m]] = m.Value()
+	}
+	sc.rec.Counters = finals
+}
+
+// RecordFaults attaches a fault campaign's recovery summary.
+func (sc *RunScope) RecordFaults(fs FaultSummary) { sc.rec.Faults = &fs }
+
+// MetricFinal is one metric's end-of-run value in the report.
+type MetricFinal struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  float64           `json:"value"`
+}
+
+// SeriesEntry is one sampled series' digest in the report.
+type SeriesEntry struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Digest Digest            `json:"digest"`
+}
+
+// Report is the machine-readable record of one harness invocation:
+// what ran, with which knobs, and every number the run produced.
+type Report struct {
+	Schema string            `json:"schema"`
+	Name   string            `json:"name"`
+	Seed   uint64            `json:"seed"`
+	Quick  bool              `json:"quick"`
+	Config map[string]string `json:"config,omitempty"`
+	Runs   []*RunRecord      `json:"runs"`
+	Finals []MetricFinal     `json:"counters"`
+	Series []SeriesEntry     `json:"series,omitempty"`
+}
+
+// BuildReport assembles the report from everything the registry has
+// seen. Metric order is canonical (sorted by name then labels).
+func (r *Registry) BuildReport(name string, seed uint64, quick bool, config map[string]string) *Report {
+	rep := &Report{
+		Schema: ReportSchema,
+		Name:   name,
+		Seed:   seed,
+		Quick:  quick,
+		Config: config,
+		Runs:   r.runs,
+	}
+	for _, m := range r.Metrics() {
+		if m.kind != KindHistogram {
+			rep.Finals = append(rep.Finals, MetricFinal{
+				Name: m.name, Labels: m.labels.Map(), Kind: m.kind.String(), Value: m.Value(),
+			})
+		}
+		if m.series != nil {
+			rep.Series = append(rep.Series, SeriesEntry{
+				Name: m.name, Labels: m.labels.Map(), Digest: m.series.Digest(),
+			})
+		}
+	}
+	return rep
+}
+
+// WriteReport encodes the report as stable, indented JSON.
+func WriteReport(w io.Writer, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encode report: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadReport parses a report and validates its schema tag.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("telemetry: decode report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("telemetry: unexpected report schema %q (want %q)", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// LoadReport reads a report file.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
