@@ -133,6 +133,28 @@ func BenchmarkSec55MultiNIC(b *testing.B) {
 	}
 }
 
+// BenchmarkSimCoreEventsPerSec measures raw simulator throughput on a
+// fig7-shaped cluster run — the macro companion to the internal/sim
+// micro-benchmarks and the number the run-report sim-perf gate tracks
+// (see EXPERIMENTS.md, "Simulator performance"). events/sec counts
+// dispatched calendar entries per second of wall time.
+func BenchmarkSimCoreEventsPerSec(b *testing.B) {
+	var events uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig(middletier.SmartDS)
+		cfg.Functional = false
+		cfg.Disk.BytesPerSec = 8e9
+		c := cluster.New(cfg)
+		c.Run(cluster.Workload{Window: 128, Warmup: 2e-3, Measure: 8e-3})
+		events += c.Env.Events()
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+}
+
 // --- ablation benches (DESIGN.md "design choices called out") --------
 
 // ablationRun executes one SmartDS configuration and reports Gbps.

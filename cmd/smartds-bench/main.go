@@ -85,6 +85,8 @@ func main() {
 		opt.Telemetry = telemetry.NewRegistry()
 	}
 	start := time.Now()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	if *exp == "all" {
 		for _, name := range experiments.Names() {
 			runOne(name, opt)
@@ -92,6 +94,11 @@ func main() {
 	} else {
 		runOne(*exp, opt)
 	}
+	// Capture wall time and allocation counts over just the experiment
+	// execution, before artifact serialization muddies them.
+	wall := time.Since(start).Seconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 	if *traceFile != "" {
 		if err := writeFile(*traceFile, opt.Trace.WriteChromeTrace); err != nil {
 			fatal(err)
@@ -105,6 +112,25 @@ func main() {
 			"breakdown": strconv.FormatBool(*breakdown),
 			"faults":    *faultSpec,
 		})
+		// SimPerf is wall-clock (non-deterministic), so it is attached
+		// here — after BuildReport — and never inside the registry, which
+		// must stay a pure function of the seed.
+		var events uint64
+		for _, rr := range rep.Runs {
+			events += rr.SimEvents
+		}
+		if events > 0 && wall > 0 {
+			allocs := ms1.Mallocs - ms0.Mallocs
+			rep.SimPerf = &telemetry.SimPerf{
+				Events:         events,
+				WallSeconds:    wall,
+				EventsPerSec:   float64(events) / wall,
+				Allocs:         allocs,
+				AllocsPerEvent: float64(allocs) / float64(events),
+			}
+			fmt.Fprintf(os.Stderr, "sim perf: %d events in %.2fs = %.0f events/sec, %.2f allocs/event\n",
+				events, wall, rep.SimPerf.EventsPerSec, rep.SimPerf.AllocsPerEvent)
+		}
 		if err := writeFile(*reportFile, func(w io.Writer) error {
 			return telemetry.WriteReport(w, rep)
 		}); err != nil {

@@ -33,6 +33,8 @@ func main() {
 		"ignore p999 inflation while the current p999 is under this many seconds")
 	minReq := flag.Uint64("min-requests", g.MinRequests,
 		"skip runs that measured fewer requests than this")
+	flag.Float64Var(&g.MaxEventsPerSecDrop, "max-eps-drop", g.MaxEventsPerSecDrop,
+		"fail when simulator events/sec falls below baseline*(1-frac); 0 disables")
 	flag.Parse()
 	g.MinRequests = *minReq
 
@@ -71,6 +73,12 @@ func main() {
 
 	deltas, violations := telemetry.Compare(base, cur, g)
 	fmt.Println(telemetry.ComparisonTable(deltas).String())
+	if base.SimPerf != nil && cur.SimPerf != nil && base.SimPerf.EventsPerSec > 0 {
+		fmt.Printf("sim perf: %.0f -> %.0f events/sec (%+.1f%%), %.2f -> %.2f allocs/event\n",
+			base.SimPerf.EventsPerSec, cur.SimPerf.EventsPerSec,
+			(cur.SimPerf.EventsPerSec/base.SimPerf.EventsPerSec-1)*100,
+			base.SimPerf.AllocsPerEvent, cur.SimPerf.AllocsPerEvent)
+	}
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "regression gate FAILED (%d violations):\n", len(violations))
 		for _, v := range violations {
@@ -93,6 +101,10 @@ func printReport(rep *telemetry.Report) {
 			metrics.FormatDuration(rr.Latency.P999))
 	}
 	fmt.Println(tbl.String())
+	if sp := rep.SimPerf; sp != nil {
+		fmt.Printf("sim perf: %d events in %.2fs = %.0f events/sec, %.2f allocs/event\n",
+			sp.Events, sp.WallSeconds, sp.EventsPerSec, sp.AllocsPerEvent)
+	}
 }
 
 func usage(msg string) {

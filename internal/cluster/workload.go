@@ -151,6 +151,7 @@ func (c *Cluster) Run(w Workload) Results {
 		scope = c.cfg.Telemetry.NewRun(c.cfg.TelemetryExp, c.KindName(), c.cfg.Seed)
 		c.instrument(scope)
 	}
+	ev0 := c.Env.Events()
 
 	if w.Rate > 0 {
 		perClient := w.Rate / float64(len(c.Clients))
@@ -212,8 +213,7 @@ func (c *Cluster) Run(w Workload) Results {
 		prevMem, prevNIC, prevAcc, prevSDS := snapshot()
 		prevTx := c.Clients[0].stack.Port().TxStats()
 		prevRx := c.Clients[0].stack.Port().RxStats()
-		var sample func()
-		sample = func() {
+		sample := func() {
 			now := c.Env.Now()
 			m, nic, acc, sds := snapshot()
 			rd, wr := mem.RatesBetween(prevMem, m)
@@ -240,11 +240,11 @@ func (c *Cluster) Run(w Workload) Results {
 			tr.Counter(now, "vm0.nic.rx Gbps", metrics.BytesPerSecToGbps(sim.BandwidthBetween(prevRx, rx)))
 			prevMem, prevNIC, prevAcc, prevSDS = m, nic, acc, sds
 			prevTx, prevRx = tx, rx
-			if now+interval <= stop {
-				c.Env.After(interval, sample)
-			}
 		}
-		c.Env.After(interval, sample)
+		// Ride the shared 100 µs ticker: the telemetry sampler above
+		// subscribes to the same grid, so both fire off one calendar
+		// entry per tick (sampler first — subscription order).
+		c.Env.Ticker(interval).Subscribe(stop, sample)
 	}
 	c.Env.At(start+w.Warmup, func() {
 		memA, nicA, accA, sdsA = snapshot()
@@ -281,6 +281,7 @@ func (c *Cluster) Run(w Workload) Results {
 	if scope != nil {
 		scope.RecordResults(res.Duration, res.Requests, res.Errors,
 			res.Throughput, res.ReqPerSec, res.Lat)
+		scope.RecordSimEvents(c.Env.Events() - ev0)
 		if c.inj != nil && c.faultSched != nil {
 			scope.RecordFaults(faultSummary(c.inj.Monitor.Stats(c.faultSched)))
 		}

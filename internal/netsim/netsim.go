@@ -63,6 +63,8 @@ type Fabric struct {
 	// finish before an earlier large one — physically impossible on one
 	// path — so completed transfers are released in send order.
 	pairs map[pairKey]*pairState
+	// freeXfers pools in-flight transfer nodes.
+	freeXfers []*xfer
 }
 
 type pairKey struct{ src, dst Addr }
@@ -70,7 +72,80 @@ type pairKey struct{ src, dst Addr }
 type pairState struct {
 	nextSend    uint64
 	nextDeliver uint64
-	ready       map[uint64]*Message
+	// ready buffers out-of-order completions; it is allocated lazily
+	// because the in-order case (by far the common one under fluid
+	// bandwidth sharing) never touches it.
+	ready map[uint64]*Message
+}
+
+// xfer tracks one message crossing the fabric: TX and RX serialization
+// completing (in either order), then one wire latency, then in-order
+// release to the destination handler. Nodes are pooled and their two
+// callbacks are bound once per node, so a steady-state Send allocates
+// nothing beyond the PSLink completion events.
+type xfer struct {
+	f         *Fabric
+	dst       *Port
+	st        *pairState
+	m         *Message
+	seq       uint64
+	remaining int
+	decFn     func(interface{})
+	postFn    func()
+}
+
+// getXfer takes a transfer node from the pool.
+func (f *Fabric) getXfer() *xfer {
+	if n := len(f.freeXfers); n > 0 {
+		x := f.freeXfers[n-1]
+		f.freeXfers[n-1] = nil
+		f.freeXfers = f.freeXfers[:n-1]
+		return x
+	}
+	x := &xfer{f: f}
+	x.decFn = func(interface{}) {
+		x.remaining--
+		if x.remaining == 0 {
+			x.f.env.After(x.f.cfg.WireLatency, x.postFn)
+		}
+	}
+	x.postFn = x.post
+	return x
+}
+
+// post runs one wire latency after both serializations finish: it hands
+// the message to the destination in send order. The node is released
+// before the handler runs, since handlers routinely Send in response.
+func (x *xfer) post() {
+	f, dst, st, m, seq := x.f, x.dst, x.st, x.m, x.seq
+	x.dst = nil
+	x.st = nil
+	x.m = nil
+	f.freeXfers = append(f.freeXfers, x)
+	if seq != st.nextDeliver {
+		// Out of order: a message posted earlier on this path is still in
+		// flight. Park until it lands.
+		if st.ready == nil {
+			st.ready = make(map[uint64]*Message)
+		}
+		st.ready[seq] = m
+		return
+	}
+	st.nextDeliver++
+	if dst.handler != nil {
+		dst.handler(m)
+	}
+	for len(st.ready) > 0 {
+		next, ok := st.ready[st.nextDeliver]
+		if !ok {
+			return
+		}
+		delete(st.ready, st.nextDeliver)
+		st.nextDeliver++
+		if dst.handler != nil {
+			dst.handler(next)
+		}
+	}
 }
 
 // NewFabric creates an empty fabric.
@@ -179,7 +254,6 @@ func (p *Port) SetRate(bytesPerSec float64) {
 // loss-injected messages silently vanish after TX, exactly like a real
 // fabric.
 func (p *Port) Send(m *Message) *sim.Event {
-	env := p.fabric.env
 	if m.Src == "" {
 		m.Src = p.addr
 	}
@@ -195,39 +269,20 @@ func (p *Port) Send(m *Message) *sim.Event {
 	key := pairKey{src: m.Src, dst: m.Dst}
 	st := p.fabric.pairs[key]
 	if st == nil {
-		st = &pairState{ready: make(map[uint64]*Message)}
+		st = &pairState{}
 		p.fabric.pairs[key] = st
 	}
 	seq := st.nextSend
 	st.nextSend++
 
 	rxDone := dst.rx.Start(m.WireBytes)
-	both := env.NewEvent()
-	remaining := 2
-	dec := func(interface{}) {
-		remaining--
-		if remaining == 0 {
-			both.Trigger(nil)
-		}
-	}
-	sent.OnTrigger(dec)
-	rxDone.OnTrigger(dec)
-	both.OnTrigger(func(interface{}) {
-		env.After(p.fabric.cfg.WireLatency, func() {
-			st.ready[seq] = m
-			// Release every in-order message that has arrived.
-			for {
-				next, ok := st.ready[st.nextDeliver]
-				if !ok {
-					break
-				}
-				delete(st.ready, st.nextDeliver)
-				st.nextDeliver++
-				if dst.handler != nil {
-					dst.handler(next)
-				}
-			}
-		})
-	})
+	x := p.fabric.getXfer()
+	x.dst = dst
+	x.st = st
+	x.m = m
+	x.seq = seq
+	x.remaining = 2
+	sent.OnTrigger(x.decFn)
+	rxDone.OnTrigger(x.decFn)
 	return sent
 }

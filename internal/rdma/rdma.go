@@ -180,16 +180,19 @@ type pendingSend struct {
 	size     float64
 	retries  int
 	done     *sim.Event
-	timer    *sim.Timer
+	timer    sim.Timer
 	resolved bool   // acked or failed
 	span     uint64 // trace span id (0 when tracing is off)
+
+	// armFn and timeoutFn are bound once at post time; retransmissions
+	// reuse them instead of minting two fresh closures per transmit.
+	armFn     func(interface{})
+	timeoutFn func()
 }
 
 func (ps *pendingSend) cancelTimer() {
-	if ps.timer != nil {
-		ps.timer.Cancel()
-		ps.timer = nil
-	}
+	ps.timer.Cancel()
+	ps.timer = sim.Timer{}
 }
 
 // CreateQP allocates an unconnected QP.
@@ -289,6 +292,13 @@ func (qp *QP) send(data []byte, size float64) *sim.Event {
 		return done
 	}
 	ps := &pendingSend{seq: qp.sendSeq, data: data, size: size, done: done}
+	ps.timeoutFn = func() { qp.onTimeout(ps) }
+	ps.armFn = func(interface{}) {
+		if ps.resolved {
+			return
+		}
+		ps.timer = qp.stack.env.After(qp.stack.cfg.RetransmitTimeout, ps.timeoutFn)
+	}
 	qp.sendSeq++
 	qp.unacked = append(qp.unacked, ps)
 	if tr := qp.stack.cfg.Trace; tr != nil {
@@ -326,12 +336,7 @@ func (qp *QP) transmit(ps *pendingSend) {
 			size:   ps.size,
 		},
 	})
-	wire.OnTrigger(func(interface{}) {
-		if ps.resolved {
-			return
-		}
-		ps.timer = s.env.After(s.cfg.RetransmitTimeout, func() { qp.onTimeout(ps) })
-	})
+	wire.OnTrigger(ps.armFn)
 }
 
 // fabricSize converts a payload size into on-wire bytes: transport
@@ -349,7 +354,7 @@ func (qp *QP) onTimeout(timed *pendingSend) {
 	if Debug != nil {
 		Debug("timeout", qp.ID(), timed.seq)
 	}
-	timed.timer = nil
+	timed.timer = sim.Timer{}
 	if timed.resolved {
 		return
 	}

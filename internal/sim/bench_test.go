@@ -1,0 +1,108 @@
+package sim
+
+import "testing"
+
+// BenchmarkEnvRun measures raw calendar throughput: a self-
+// rescheduling timer chain (the dominant event shape in the cluster —
+// PSLink reschedules, sampler grids, retransmit timers) plus a
+// cancelled timer per step, which exercises the in-place heap removal.
+func BenchmarkEnvRun(b *testing.B) {
+	env := NewEnv()
+	fn := func() {}
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		dead := env.After(2e-6, fn) // armed and cancelled, like a timeout that never fires
+		dead.Cancel()
+		if n < b.N {
+			env.After(1e-6, tick)
+		}
+	}
+	env.After(1e-6, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run(0)
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEnvSleepWakeup measures the proc park/resume path: two
+// processes ping-ponging through a queue, each handoff crossing the
+// scheduler twice.
+func BenchmarkEnvSleepWakeup(b *testing.B) {
+	env := NewEnv()
+	q := env.NewQueue("ping")
+	done := env.NewQueue("done")
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+		done.Put(nil)
+	})
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Yield()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run(0)
+	if _, ok := done.TryGet(); !ok {
+		b.Fatal("consumer did not finish")
+	}
+}
+
+// BenchmarkQueuePutGet measures the buffered ring path without proc
+// switches: the acceptance target is zero allocations per cycle in
+// steady state.
+func BenchmarkQueuePutGet(b *testing.B) {
+	env := NewEnv()
+	q := env.NewQueue("bench")
+	payload := interface{}(&struct{}{})
+	for i := 0; i < 64; i++ { // establish ring capacity
+		q.Put(payload)
+		q.TryGet()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(payload)
+		q.TryGet()
+	}
+}
+
+// BenchmarkTimerCancel measures the schedule/cancel churn path — the
+// shape of every timeout that does not fire.
+func BenchmarkTimerCancel(b *testing.B) {
+	env := NewEnv()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := env.After(1, fn)
+		tm.Cancel()
+	}
+}
+
+// BenchmarkPSLinkChurn measures the processor-sharing link under a
+// sustained open-loop load of overlapping transfers.
+func BenchmarkPSLinkChurn(b *testing.B) {
+	env := NewEnv()
+	l := env.NewPSLink("bench", 100e9, 0)
+	n := 0
+	var launch func()
+	launch = func() {
+		n++
+		l.Start(4096)
+		if n < b.N {
+			env.After(50e-9, launch)
+		}
+	}
+	env.After(50e-9, launch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run(0)
+}

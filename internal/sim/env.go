@@ -1,114 +1,241 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, in seconds.
 type Time = float64
 
-// item is a calendar entry. Entries with equal time fire in insertion
-// order (seq), which keeps runs deterministic.
-type item struct {
-	t         Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-}
-
-type calendar []*item
-
-func (c calendar) Len() int { return len(c) }
-func (c calendar) Less(i, j int) bool {
-	if c[i].t != c[j].t { //detcheck:floateq exact tie detection; ties fall through to the seq order
-		return c[i].t < c[j].t
-	}
-	return c[i].seq < c[j].seq
-}
-func (c calendar) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
-func (c *calendar) Push(x interface{}) { *c = append(*c, x.(*item)) }
-func (c *calendar) Pop() interface{} {
-	old := *c
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*c = old[:n-1]
-	return it
-}
-
 // Env is the simulation environment: a virtual clock plus an event
 // calendar. The zero value is not usable; construct with NewEnv.
 type Env struct {
-	now    Time
-	cal    calendar
-	seq    uint64
-	parked chan struct{}
-	nprocs int
+	now Time
+	cal calendar
+	ln  lane
+	seq uint64
+
+	// live counts scheduled-but-not-yet-fired entries; cancellation
+	// decrements it immediately, so Pending() is O(1) and honest even
+	// under timeout-heavy cancel storms.
+	live int
+	// events counts dispatched (non-cancelled) calendar entries — the
+	// denominator of the simulator-performance metrics.
+	events uint64
+
+	freeItems   []*item
+	freeWaiters *qWaiter
+	freeProcs   []*Proc
+	tickers     map[float64]*Ticker
+
+	// evSlab hands out Events in bulk; see NewEvent.
+	evSlab []Event
+	evPos  int
+
+	// yielded is the proc→scheduler half of the spin handoff: the
+	// running proc sets it when it parks or finishes, and the scheduler
+	// consumes it in waitYield.
+	yielded atomic.Uint32
 }
 
 // NewEnv returns an empty environment at time zero.
 func NewEnv() *Env {
-	return &Env{parked: make(chan struct{})}
+	return &Env{}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() Time { return e.now }
 
-// schedule posts fn to run at time t. It returns the calendar entry so
-// callers can cancel it.
-func (e *Env) schedule(t Time, fn func()) *item {
+// Events reports the number of calendar entries dispatched so far —
+// the simulator's raw unit of work. Cancelled entries never count.
+func (e *Env) Events() uint64 { return e.events }
+
+// newItem takes a pooled (or fresh) calendar entry stamped with the
+// next seq. Scheduling in the past or at NaN panics: NaN compares
+// false against everything and would silently corrupt the heap order.
+func (e *Env) newItem(t Time) *item {
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: %g < %g", t, e.now))
 	}
 	e.seq++
-	it := &item{t: t, seq: e.seq, fn: fn}
-	heap.Push(&e.cal, it)
+	var it *item
+	if n := len(e.freeItems); n > 0 {
+		it = e.freeItems[n-1]
+		e.freeItems[n-1] = nil
+		e.freeItems = e.freeItems[:n-1]
+	} else {
+		it = &item{}
+	}
+	it.t = t
+	it.seq = e.seq
+	it.cancelled = false
+	e.live++
 	return it
 }
 
-// Timer is a cancellable scheduled callback.
-type Timer struct {
-	it *item
+// release returns a fired or cancelled item to the pool. The item
+// keeps its seq until reuse, so stale Timers recognize it.
+func (e *Env) release(it *item) {
+	it.fn = nil
+	it.proc = nil
+	it.idx = freeIdx
+	e.freeItems = append(e.freeItems, it)
 }
+
+// enqueue files the item: entries at exactly the current instant take
+// the FIFO fast lane, everything else goes through the heap.
+func (e *Env) enqueue(it *item) {
+	if it.t == e.now { //detcheck:floateq same-instant entries take the O(1) fast lane; (t,seq) order is unchanged
+		e.ln.push(it)
+		return
+	}
+	e.cal.push(it)
+}
+
+// schedule posts fn to run at time t. It returns the calendar entry so
+// callers can cancel it.
+func (e *Env) schedule(t Time, fn func()) *item {
+	it := e.newItem(t)
+	it.fn = fn
+	e.enqueue(it)
+	return it
+}
+
+// scheduleWake posts a conditional process resume at time t without
+// allocating a closure: the proc runs iff its park generation still
+// matches tk when the entry fires.
+func (e *Env) scheduleWake(t Time, tk wakeToken) *item {
+	it := e.newItem(t)
+	it.proc = tk.p
+	it.gen = tk.gen
+	e.enqueue(it)
+	return it
+}
+
+// Timer is a cancellable scheduled callback. The zero Timer is valid
+// and Cancel on it is a no-op; Timers are plain values, so the hot
+// path never heap-allocates one.
+type Timer struct {
+	env *Env
+	it  *item
+	seq uint64
+}
+
+// timerFor wraps a scheduled item in a cancellation handle.
+func (e *Env) timerFor(it *item) Timer { return Timer{env: e, it: it, seq: it.seq} }
 
 // After schedules fn to run after d seconds of virtual time and returns
 // a cancellable Timer.
-func (e *Env) After(d float64, fn func()) *Timer {
-	return &Timer{it: e.schedule(e.now+d, fn)}
+func (e *Env) After(d float64, fn func()) Timer {
+	return e.timerFor(e.schedule(e.now+d, fn))
 }
 
 // At schedules fn at absolute virtual time t.
-func (e *Env) At(t Time, fn func()) *Timer {
-	return &Timer{it: e.schedule(t, fn)}
+func (e *Env) At(t Time, fn func()) Timer {
+	return e.timerFor(e.schedule(t, fn))
 }
 
-// Cancel prevents the timer's callback from running. Cancelling an
-// already-fired or already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.it != nil {
-		t.it.cancelled = true
+// wakeAt schedules a conditional process resume and returns its Timer
+// (the cancellable half of WaitTimeout and Sleep).
+func (e *Env) wakeAt(t Time, tk wakeToken) Timer {
+	return e.timerFor(e.scheduleWake(t, tk))
+}
+
+// Cancel prevents the timer's callback from running. A heap entry is
+// removed in place (no leak until pop); a fast-lane entry is marked
+// and skipped when its instant drains. Cancelling an already-fired,
+// already-cancelled, or zero Timer is a no-op — the seq stamp detects
+// items that were recycled for a later schedule.
+func (t Timer) Cancel() {
+	it := t.it
+	if it == nil || it.seq != t.seq || it.cancelled {
+		return
 	}
+	switch {
+	case it.idx >= 0:
+		t.env.cal.remove(it.idx)
+		t.env.live--
+		t.env.release(it)
+	case it.idx == laneIdx:
+		it.cancelled = true
+		t.env.live--
+	}
+}
+
+// next pops the earliest live calendar entry, nil when the calendar is
+// empty. The lane is globally (t, seq)-sorted, so comparing its head
+// against the heap root preserves the total dispatch order.
+func (e *Env) next() *item {
+	for {
+		var it *item
+		switch {
+		case e.ln.n > 0 && e.cal.len() > 0:
+			if calLess(e.cal.items[0], e.ln.peek()) {
+				it = e.cal.popMin()
+			} else {
+				it = e.ln.pop()
+			}
+		case e.ln.n > 0:
+			it = e.ln.pop()
+		case e.cal.len() > 0:
+			it = e.cal.popMin()
+		default:
+			return nil
+		}
+		if it.cancelled {
+			e.release(it) // live was decremented at Cancel
+			continue
+		}
+		return it
+	}
+}
+
+// fire dispatches one live entry and recycles it. The item is released
+// before the callback runs — the callback may immediately reschedule
+// and reuse it.
+func (e *Env) fire(it *item) {
+	e.live--
+	e.events++
+	if p := it.proc; p != nil {
+		gen := it.gen
+		e.release(it)
+		if !p.done && p.gen == gen {
+			e.runProc(p)
+		}
+		return
+	}
+	fn := it.fn
+	e.release(it)
+	fn()
 }
 
 // Run processes events until the calendar is empty or the clock would
 // pass `until` (0 means run until idle). It returns the final time.
+// The clock never moves backward: re-entering with an earlier horizon
+// is a no-op.
 func (e *Env) Run(until Time) Time {
-	for e.cal.Len() > 0 {
-		it := heap.Pop(&e.cal).(*item)
-		if it.cancelled {
-			continue
+	for {
+		it := e.next()
+		if it == nil {
+			break
 		}
 		if until > 0 && it.t > until {
 			// Put it back and stop at the horizon.
-			heap.Push(&e.cal, it)
-			e.now = until
+			e.cal.push(it)
+			if until > e.now {
+				e.now = until
+			}
 			return e.now
 		}
 		e.now = it.t
-		e.dispatch(it.fn)
+		e.fire(it)
 	}
-	if until > 0 && e.now < until {
+	if until > e.now {
 		e.now = until
 	}
 	return e.now
@@ -117,28 +244,19 @@ func (e *Env) Run(until Time) Time {
 // Step processes a single calendar entry, returning false when the
 // calendar is empty.
 func (e *Env) Step() bool {
-	for e.cal.Len() > 0 {
-		it := heap.Pop(&e.cal).(*item)
-		if it.cancelled {
-			continue
-		}
-		e.now = it.t
-		e.dispatch(it.fn)
-		return true
+	it := e.next()
+	if it == nil {
+		return false
 	}
-	return false
+	e.now = it.t
+	e.fire(it)
+	return true
 }
 
-// Pending reports the number of live calendar entries.
-func (e *Env) Pending() int {
-	n := 0
-	for _, it := range e.cal {
-		if !it.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live calendar entries in O(1).
+func (e *Env) Pending() int { return e.live }
 
-// dispatch runs one event callback in scheduler context.
-func (e *Env) dispatch(fn func()) { fn() }
+// calendarLen reports the raw size of the calendar structures,
+// including lazily-cancelled fast-lane entries — the regression tests
+// use it to pin that cancellation does not leak heap slots.
+func (e *Env) calendarLen() int { return e.cal.len() + e.ln.n }

@@ -4,22 +4,84 @@ package sim
 // anything (another process, a scheduler callback, a resource) completes
 // it with Trigger, optionally attaching a value. Waiting on an event
 // that already fired returns immediately.
+//
+// The first waiter and the first callback live inline — the common
+// single-waiter, single-callback event never allocates a slice.
 type Event struct {
-	env     *Env
-	done    bool
-	val     interface{}
-	waiters []wakeToken
-	cbs     []func(interface{})
+	env  *Env
+	done bool
+	val  interface{}
+
+	nw   int
+	w0   wakeToken
+	more []wakeToken
+
+	ncb int
+	cb0 func(interface{})
+	cbs []func(interface{})
 }
 
 // NewEvent returns an untriggered event bound to the environment.
-func (e *Env) NewEvent() *Event { return &Event{env: e} }
+// Events are carved from a slab: one bulk allocation hands out eventSlab
+// events, so the per-event allocator cost disappears from the hot path.
+// Events are one-shot and never recycled — a caller may keep the pointer
+// and poll Done long after the trigger — so the slab only amortizes
+// allocation, it never reuses storage.
+func (e *Env) NewEvent() *Event {
+	if e.evPos == len(e.evSlab) {
+		e.evSlab = make([]Event, eventSlab)
+		e.evPos = 0
+	}
+	ev := &e.evSlab[e.evPos]
+	e.evPos++
+	ev.env = e
+	return ev
+}
+
+// eventSlab is the slab chunk size. A chunk is retained until every
+// event in it is unreachable; events are short-lived, so retention is
+// bounded by a few chunks.
+const eventSlab = 512
 
 // Done reports whether the event has been triggered.
 func (ev *Event) Done() bool { return ev.done }
 
 // Value returns the value the event was triggered with (nil before).
 func (ev *Event) Value() interface{} { return ev.val }
+
+// addWaiter appends a park token in arrival order.
+func (ev *Event) addWaiter(tk wakeToken) {
+	if ev.nw == 0 {
+		ev.w0 = tk
+	} else {
+		ev.more = append(ev.more, tk)
+	}
+	ev.nw++
+}
+
+// removeWaiter drops one token, preserving arrival order of the rest.
+func (ev *Event) removeWaiter(tk wakeToken) {
+	if ev.nw == 0 {
+		return
+	}
+	if ev.w0 == tk {
+		if len(ev.more) > 0 {
+			ev.w0 = ev.more[0]
+			copy(ev.more, ev.more[1:])
+			ev.more = ev.more[:len(ev.more)-1]
+		}
+		ev.nw--
+		return
+	}
+	for i, w := range ev.more {
+		if w == tk {
+			copy(ev.more[i:], ev.more[i+1:])
+			ev.more = ev.more[:len(ev.more)-1]
+			ev.nw--
+			return
+		}
+	}
+}
 
 // Trigger completes the event, waking all waiters and running all
 // registered callbacks. Triggering twice panics: an event is one-shot
@@ -30,14 +92,26 @@ func (ev *Event) Trigger(val interface{}) {
 	}
 	ev.done = true
 	ev.val = val
-	for _, tk := range ev.waiters {
-		ev.env.wake(tk)
+	if ev.nw > 0 {
+		ev.env.wake(ev.w0)
+		for _, tk := range ev.more {
+			ev.env.wake(tk)
+		}
+		ev.nw = 0
+		ev.w0 = wakeToken{}
+		ev.more = nil
 	}
-	ev.waiters = nil
-	for _, cb := range ev.cbs {
-		cb(val)
+	if ev.ncb > 0 {
+		cb0 := ev.cb0
+		cbs := ev.cbs
+		ev.ncb = 0
+		ev.cb0 = nil
+		ev.cbs = nil
+		cb0(val)
+		for _, cb := range cbs {
+			cb(val)
+		}
 	}
-	ev.cbs = nil
 }
 
 // OnTrigger registers a callback to run (in scheduler context) when the
@@ -47,7 +121,12 @@ func (ev *Event) OnTrigger(cb func(interface{})) {
 		cb(ev.val)
 		return
 	}
-	ev.cbs = append(ev.cbs, cb)
+	if ev.ncb == 0 {
+		ev.cb0 = cb
+	} else {
+		ev.cbs = append(ev.cbs, cb)
+	}
+	ev.ncb++
 }
 
 // Wait blocks the process until the event fires and returns its value.
@@ -55,7 +134,7 @@ func (p *Proc) Wait(ev *Event) interface{} {
 	if ev.done {
 		return ev.val
 	}
-	ev.waiters = append(ev.waiters, p.token())
+	ev.addWaiter(p.token())
 	p.park()
 	return ev.val
 }
@@ -68,8 +147,8 @@ func (p *Proc) WaitTimeout(ev *Event, d float64) (interface{}, bool) {
 		return ev.val, true
 	}
 	tk := p.token()
-	ev.waiters = append(ev.waiters, tk)
-	timer := p.env.After(d, func() { p.env.wake(tk) })
+	ev.addWaiter(tk)
+	timer := p.env.wakeAt(p.env.now+d, tk)
 	p.park()
 	timer.Cancel()
 	if ev.done {
@@ -77,12 +156,7 @@ func (p *Proc) WaitTimeout(ev *Event, d float64) (interface{}, bool) {
 	}
 	// Timed out: drop our stale token so a later Trigger doesn't try to
 	// wake a generation we've moved past (harmless but wasteful).
-	for i, w := range ev.waiters {
-		if w == tk {
-			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
-			break
-		}
-	}
+	ev.removeWaiter(tk)
 	return nil, false
 }
 

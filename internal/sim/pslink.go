@@ -6,26 +6,55 @@ import "math"
 // is divided among all in-flight transfers in proportion to their
 // weights, optionally capped per flow. This is the standard fluid model
 // for a shared bus, PCIe link, memory channel group, or network port.
+//
+// The uncapped case (every production link) runs on virtual service
+// time, WFQ-style: the link tracks the cumulative normalized service
+//
+//	S(t) = ∫ rate/weightSum dt
+//
+// and each job gets a fixed finish tag finishS = S(start) + bytes/weight
+// at admission. A job is done exactly when S reaches its tag, so
+// advancing the link is O(1) — bump S — and the next completion is a
+// peek at a min-heap ordered by tag. Without this, every Start and
+// every completion rescans all in-flight jobs, which turns busy links
+// (a NIC port with dozens of concurrent transfers) into an O(n²) hot
+// spot.
+//
+// The link is allocation-free in steady state: completed psJobs return
+// to a per-link pool, and scratch buffers are reused across calls.
 type PSLink struct {
 	env     *Env
 	name    string
 	rate    float64 // bytes/second aggregate capacity
 	flowCap float64 // max bytes/second any single flow may get; 0 = unlimited
 
-	jobs      []*psJob // insertion order; completions fire oldest-first
+	// jobs holds the in-flight transfers: a min-heap on finishS in the
+	// uncapped mode, plain insertion order in the capped mode.
+	jobs      []*psJob
 	weightSum float64
+	virt      float64 // cumulative normalized service S (uncapped mode)
+	jobSeq    uint64  // admission order, for deterministic completion ties
 	last      Time
-	timer     *Timer
+	timer     Timer
 
 	// accounting
 	work      float64 // total bytes moved (including partial progress)
 	busy      float64 // total seconds with >=1 active job
 	busySince Time
+
+	// scratch buffers and pools (reused across calls, never retained)
+	completeFn func()
+	rates      []float64
+	uncapped   []int
+	finished   []*psJob
+	freeJobs   []*psJob
 }
 
 type psJob struct {
-	remaining float64
+	finishS   float64 // virtual finish tag (uncapped mode)
+	remaining float64 // bytes left (capped mode)
 	weight    float64
+	seq       uint64
 	ev        *Event
 }
 
@@ -36,13 +65,15 @@ func (e *Env) NewPSLink(name string, rate, flowCap float64) *PSLink {
 	if rate <= 0 {
 		panic("sim: PSLink rate must be positive")
 	}
-	return &PSLink{
+	l := &PSLink{
 		env:     e,
 		name:    name,
 		rate:    rate,
 		flowCap: flowCap,
 		last:    e.now,
 	}
+	l.completeFn = l.complete
+	return l
 }
 
 // Name returns the link name.
@@ -53,7 +84,9 @@ func (l *PSLink) Rate() float64 { return l.rate }
 
 // SetRate changes the aggregate capacity mid-run (link degradation
 // faults): progress accrued so far is applied at the old rate, and
-// in-flight transfers continue at the new one.
+// in-flight transfers continue at the new one. Virtual finish tags are
+// rate-independent, so in the uncapped mode only the clock-time
+// projection of the next completion changes.
 func (l *PSLink) SetRate(rate float64) {
 	if rate <= 0 {
 		panic("sim: PSLink rate must be positive")
@@ -67,27 +100,25 @@ func (l *PSLink) SetRate(rate float64) {
 func (l *PSLink) InFlight() int { return len(l.jobs) }
 
 // jobRates returns the current per-job rates, index-aligned with
-// l.jobs. Without a flow cap this is plain weighted processor sharing.
-// With one, capacity is assigned by water-filling: flows whose fair
-// share exceeds flowCap are pinned at the cap and the residual is
+// l.jobs, in a scratch buffer valid until the next jobRates call.
+// Capped mode only. Capacity is assigned by water-filling: flows whose
+// fair share exceeds flowCap are pinned at the cap and the residual is
 // re-shared among the remaining flows (iterating, since a larger share
 // may push further flows to the cap) — so a capped flow never strands
 // capacity other flows could use.
 func (l *PSLink) jobRates() []float64 {
-	rates := make([]float64, len(l.jobs))
+	if cap(l.rates) < len(l.jobs) {
+		l.rates = make([]float64, len(l.jobs)*2)
+	}
+	rates := l.rates[:len(l.jobs)]
+	for i := range rates {
+		rates[i] = 0
+	}
 	if len(l.jobs) == 0 {
 		return rates
 	}
-	if l.flowCap <= 0 {
-		if l.weightSum > 0 {
-			for i, j := range l.jobs {
-				rates[i] = l.rate * j.weight / l.weightSum
-			}
-		}
-		return rates
-	}
 	remaining := l.rate
-	uncapped := make([]int, 0, len(l.jobs))
+	uncapped := l.uncapped[:0]
 	for i := range l.jobs {
 		uncapped = append(uncapped, i)
 	}
@@ -130,15 +161,27 @@ func (l *PSLink) jobRates() []float64 {
 		}
 		break
 	}
+	l.uncapped = uncapped[:0]
 	return rates
 }
 
-// advance applies progress to all jobs for the time since last update.
+// advance applies progress for the time since the last update. In the
+// uncapped mode this is O(1): between events every in-flight job has
+// work left, so the link moves bytes at its full rate and the
+// normalized service grows at rate/weightSum.
 func (l *PSLink) advance() {
 	now := l.env.now
 	dt := now - l.last
 	l.last = now
 	if dt <= 0 || len(l.jobs) == 0 {
+		return
+	}
+	if l.flowCap <= 0 {
+		if l.weightSum <= 0 {
+			return
+		}
+		l.virt += l.rate / l.weightSum * dt
+		l.work += l.rate * dt
 		return
 	}
 	rates := l.jobRates()
@@ -152,14 +195,23 @@ func (l *PSLink) advance() {
 	}
 }
 
-// reschedule cancels any pending completion check and schedules the next
-// one at the earliest projected job completion.
+// reschedule cancels any pending completion check and schedules the
+// next one at the earliest projected job completion.
 func (l *PSLink) reschedule() {
-	if l.timer != nil {
-		l.timer.Cancel()
-		l.timer = nil
-	}
+	l.timer.Cancel()
+	l.timer = Timer{}
 	if len(l.jobs) == 0 {
+		return
+	}
+	if l.flowCap <= 0 {
+		if l.weightSum <= 0 {
+			return
+		}
+		next := (l.jobs[0].finishS - l.virt) * l.weightSum / l.rate
+		if next < 0 {
+			next = 0
+		}
+		l.timer = l.env.After(next, l.completeFn)
 		return
 	}
 	next := math.Inf(1)
@@ -169,53 +221,124 @@ func (l *PSLink) reschedule() {
 		if r <= 0 {
 			continue
 		}
-		t := j.remaining / r
-		if t < next {
+		if t := j.remaining / r; t < next {
 			next = t
 		}
 	}
 	if math.IsInf(next, 1) {
 		return
 	}
-	l.timer = l.env.After(next, l.complete)
+	l.timer = l.env.After(next, l.completeFn)
 }
 
-// complete fires at a projected completion instant: it advances all
-// jobs, finishes the ones that are done, and reschedules.
+// complete fires at a projected completion instant: it advances the
+// link, finishes the jobs that are done, and reschedules. Finished
+// jobs fire their events in admission order, so same-instant
+// completions keep a deterministic, insertion-ordered trigger sequence
+// regardless of heap layout.
 func (l *PSLink) complete() {
-	l.timer = nil
+	l.timer = Timer{}
 	l.advance()
 	const eps = 1e-6 // bytes; transfers are whole bytes, fluid-modeled
 	now := l.env.now
-	var finished []*psJob
-	rates := l.jobRates()
-	kept := l.jobs[:0]
-	for i, j := range l.jobs {
-		done := j.remaining <= eps
-		if !done {
-			// Guard against float livelock: if the projected completion
-			// time is not representable past `now`, the leftover work is
-			// below the clock's resolution — finish it immediately.
-			if r := rates[i]; r > 0 && now+j.remaining/r <= now {
-				done = true
+	finished := l.finished[:0]
+	if l.flowCap <= 0 {
+		for len(l.jobs) > 0 {
+			top := l.jobs[0]
+			if (top.finishS-l.virt)*top.weight > eps {
+				// Guard against float livelock: if the next completion
+				// instant is not representable past `now`, the leftover
+				// work is below the clock's resolution — finish it too.
+				if l.weightSum <= 0 {
+					break
+				}
+				if next := (top.finishS - l.virt) * l.weightSum / l.rate; now+next > now {
+					break
+				}
+			}
+			l.popMinJob()
+			l.weightSum -= top.weight
+			finished = append(finished, top)
+		}
+		// Restore admission order for the triggers below.
+		for i := 1; i < len(finished); i++ {
+			for k := i; k > 0 && finished[k].seq < finished[k-1].seq; k-- {
+				finished[k], finished[k-1] = finished[k-1], finished[k]
 			}
 		}
-		if done {
-			finished = append(finished, j)
-			l.weightSum -= j.weight
-		} else {
-			kept = append(kept, j)
+	} else {
+		rates := l.jobRates()
+		kept := l.jobs[:0]
+		for i, j := range l.jobs {
+			done := j.remaining <= eps
+			if !done && rates[i] > 0 && now+j.remaining/rates[i] <= now {
+				done = true
+			}
+			if done {
+				finished = append(finished, j)
+				l.weightSum -= j.weight
+			} else {
+				kept = append(kept, j)
+			}
 		}
+		for i := len(kept); i < len(l.jobs); i++ {
+			l.jobs[i] = nil
+		}
+		l.jobs = kept
 	}
-	l.jobs = kept
 	if len(l.jobs) == 0 {
-		l.weightSum = 0 // kill accumulated float error
+		// Kill accumulated float error and keep the virtual clock small.
+		l.weightSum = 0
+		l.virt = 0
 		l.busy += l.env.now - l.busySince
 	}
 	l.reschedule()
 	for _, j := range finished {
-		j.ev.Trigger(nil)
+		ev := j.ev
+		j.ev = nil
+		l.freeJobs = append(l.freeJobs, j)
+		ev.Trigger(nil)
 	}
+	l.finished = finished[:0]
+}
+
+// pushJob inserts a job into the finish-tag min-heap (uncapped mode).
+func (l *PSLink) pushJob(j *psJob) {
+	l.jobs = append(l.jobs, j)
+	i := len(l.jobs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if l.jobs[parent].finishS <= l.jobs[i].finishS {
+			break
+		}
+		l.jobs[parent], l.jobs[i] = l.jobs[i], l.jobs[parent]
+		i = parent
+	}
+}
+
+// popMinJob removes and returns the job with the smallest finish tag.
+func (l *PSLink) popMinJob() *psJob {
+	top := l.jobs[0]
+	n := len(l.jobs) - 1
+	l.jobs[0] = l.jobs[n]
+	l.jobs[n] = nil
+	l.jobs = l.jobs[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && l.jobs[c+1].finishS < l.jobs[c].finishS {
+			c++
+		}
+		if l.jobs[i].finishS <= l.jobs[c].finishS {
+			break
+		}
+		l.jobs[i], l.jobs[c] = l.jobs[c], l.jobs[i]
+		i = c
+	}
+	return top
 }
 
 // StartWeighted begins a transfer of the given size and weight without
@@ -233,8 +356,25 @@ func (l *PSLink) StartWeighted(bytes, weight float64) *Event {
 	if len(l.jobs) == 0 {
 		l.busySince = l.env.now
 	}
-	j := &psJob{remaining: bytes, weight: weight, ev: ev}
-	l.jobs = append(l.jobs, j)
+	var j *psJob
+	if n := len(l.freeJobs); n > 0 {
+		j = l.freeJobs[n-1]
+		l.freeJobs[n-1] = nil
+		l.freeJobs = l.freeJobs[:n-1]
+	} else {
+		j = &psJob{}
+	}
+	j.weight = weight
+	j.ev = ev
+	l.jobSeq++
+	j.seq = l.jobSeq
+	if l.flowCap <= 0 {
+		j.finishS = l.virt + bytes/weight
+		l.pushJob(j)
+	} else {
+		j.remaining = bytes
+		l.jobs = append(l.jobs, j)
+	}
 	l.weightSum += weight
 	l.reschedule()
 	return ev

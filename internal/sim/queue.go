@@ -3,34 +3,157 @@ package sim
 // Queue is an unbounded FIFO mailbox between processes. Put never
 // blocks; Get blocks while the queue is empty. Waiters are served in
 // arrival order.
+//
+// Buffered items live in a power-of-two ring: pops are O(1), slots are
+// nilled as they drain (a popped payload is immediately collectable —
+// the old slice-head pops pinned every delivered buffer against GC for
+// the life of the backing array), and the steady state allocates
+// nothing. Blocked getters ride pooled wait nodes instead of Events.
 type Queue struct {
-	env     *Env
-	name    string
-	items   []interface{}
-	waiters []*Event
+	env  *Env
+	name string
+
+	buf  []interface{} // power-of-two ring
+	head int
+	n    int
+
+	wHead, wTail *qWaiter
 
 	puts uint64
 	gets uint64
 	// queue-length integral for mean-occupancy reporting
-	lenInt float64
-	last   Time
+	lenInt    float64
+	last      Time
+	createdAt Time
+}
+
+// qWaiter is one blocked getter: a pooled node holding the park token,
+// the delivered value, and the timeout flag its cancellable deadline
+// callback sets. The timeout callback is bound once per node and
+// reused across the node's pooled lifetime.
+type qWaiter struct {
+	env       *Env
+	tk        wakeToken
+	val       interface{}
+	delivered bool
+	timedOut  bool
+	next      *qWaiter
+	fire      func()
+}
+
+// getWaiter takes a wait node from the env pool.
+func (e *Env) getWaiter() *qWaiter {
+	w := e.freeWaiters
+	if w == nil {
+		w = &qWaiter{env: e}
+		w.fire = func() {
+			w.timedOut = true
+			w.env.wake(w.tk)
+		}
+	} else {
+		e.freeWaiters = w.next
+		w.next = nil
+	}
+	w.delivered = false
+	w.timedOut = false
+	return w
+}
+
+// putWaiter returns a node to the pool. The caller must have unlinked
+// it from any waiter list and cancelled any pending deadline first.
+func (e *Env) putWaiter(w *qWaiter) {
+	w.val = nil
+	w.next = e.freeWaiters
+	e.freeWaiters = w
 }
 
 // NewQueue creates an empty queue.
 func (e *Env) NewQueue(name string) *Queue {
-	return &Queue{env: e, name: name, last: e.now}
+	return &Queue{env: e, name: name, last: e.now, createdAt: e.now}
 }
 
 // Name returns the queue name.
 func (q *Queue) Name() string { return q.name }
 
 // Len returns the number of buffered items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 func (q *Queue) account() {
 	now := q.env.now
-	q.lenInt += float64(len(q.items)) * (now - q.last)
+	q.lenInt += float64(q.n) * (now - q.last)
 	q.last = now
+}
+
+// push appends to the ring tail.
+func (q *Queue) push(v interface{}) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+// pushFront prepends at the ring head (timeout-race requeue keeps FIFO
+// order for the other getters).
+func (q *Queue) pushFront(v interface{}) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = v
+	q.n++
+}
+
+// pop removes the oldest item and nils its slot.
+func (q *Queue) pop() interface{} {
+	v := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+func (q *Queue) grow() {
+	nc := len(q.buf) * 2
+	if nc == 0 {
+		nc = 8
+	}
+	nb := make([]interface{}, nc)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// enqueueWaiter appends a blocked getter in arrival order.
+func (q *Queue) enqueueWaiter(w *qWaiter) {
+	if q.wTail == nil {
+		q.wHead, q.wTail = w, w
+		return
+	}
+	q.wTail.next = w
+	q.wTail = w
+}
+
+// unlinkWaiter removes w from the waiter list (timeout path).
+func (q *Queue) unlinkWaiter(w *qWaiter) {
+	var prev *qWaiter
+	for cur := q.wHead; cur != nil; prev, cur = cur, cur.next {
+		if cur != w {
+			continue
+		}
+		if prev == nil {
+			q.wHead = cur.next
+		} else {
+			prev.next = cur.next
+		}
+		if q.wTail == cur {
+			q.wTail = prev
+		}
+		cur.next = nil
+		return
+	}
 }
 
 // Put appends v and wakes the oldest waiter, if any. Safe to call from
@@ -38,72 +161,99 @@ func (q *Queue) account() {
 func (q *Queue) Put(v interface{}) {
 	q.account()
 	q.puts++
-	if len(q.waiters) > 0 {
-		ev := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.gets++
-		ev.Trigger(v)
+	if w := q.wHead; w != nil {
+		q.wHead = w.next
+		if q.wHead == nil {
+			q.wTail = nil
+		}
+		w.next = nil
+		w.val = v
+		w.delivered = true
+		q.env.wake(w.tk)
 		return
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 }
 
 // Get removes and returns the oldest item, blocking while empty.
 func (q *Queue) Get(p *Proc) interface{} {
 	q.account()
-	if len(q.items) > 0 {
-		v := q.items[0]
-		q.items = q.items[1:]
+	if q.n > 0 {
 		q.gets++
-		return v
+		return q.pop()
 	}
-	ev := q.env.NewEvent()
-	q.waiters = append(q.waiters, ev)
-	return p.Wait(ev)
+	w := q.env.getWaiter()
+	w.tk = p.token()
+	q.enqueueWaiter(w)
+	p.park()
+	if !w.delivered {
+		panic("sim: queue waiter woken without a delivery")
+	}
+	v := w.val
+	q.env.putWaiter(w)
+	q.gets++
+	return v
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue) TryGet() (interface{}, bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return nil, false
 	}
 	q.account()
-	v := q.items[0]
-	q.items = q.items[1:]
 	q.gets++
-	return v, true
+	return q.pop(), true
 }
 
-// GetTimeout waits up to d seconds for an item.
+// GetTimeout waits up to d seconds for an item. The deadline instant
+// belongs to the timeout: if a Put delivers at exactly the instant the
+// deadline fires, the wait reports failure and the delivered value is
+// requeued at the head — never dropped — so the next getter receives
+// it in FIFO order.
 func (q *Queue) GetTimeout(p *Proc, d float64) (interface{}, bool) {
 	q.account()
-	if len(q.items) > 0 {
-		v := q.items[0]
-		q.items = q.items[1:]
+	if q.n > 0 {
+		q.gets++
+		return q.pop(), true
+	}
+	w := q.env.getWaiter()
+	w.tk = p.token()
+	q.enqueueWaiter(w)
+	timer := q.env.After(d, w.fire)
+	p.park()
+	timer.Cancel()
+	switch {
+	case w.delivered && !w.timedOut:
+		v := w.val
+		q.env.putWaiter(w)
 		q.gets++
 		return v, true
-	}
-	ev := q.env.NewEvent()
-	q.waiters = append(q.waiters, ev)
-	v, ok := p.WaitTimeout(ev, d)
-	if !ok {
-		// Remove our waiter so a later Put doesn't deliver into the void.
-		for i, w := range q.waiters {
-			if w == ev {
-				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
-				break
-			}
-		}
+	case w.delivered:
+		// Lost the race: the deadline fired at the same instant the value
+		// arrived. Hand it back to the queue head instead of dropping it.
+		// puts was counted at Put and gets will be counted by whoever
+		// eventually pops it, so the counters stay balanced.
+		q.account()
+		q.pushFront(w.val)
+		q.env.putWaiter(w)
+		return nil, false
+	default:
+		// Timed out with nothing delivered: leave no dangling waiter a
+		// later Put could deliver into.
+		q.unlinkWaiter(w)
+		q.env.putWaiter(w)
 		return nil, false
 	}
-	return v, true
 }
 
-// MeanLen returns the time-averaged queue length since creation.
+// MeanLen returns the time-averaged queue length since the queue was
+// created (not since the start of the run — a queue created mid-run
+// must not have its occupancy diluted by time it did not exist).
 func (q *Queue) MeanLen() float64 {
 	q.account()
-	if q.env.now <= 0 {
+	dt := q.env.now - q.createdAt
+	if dt <= 0 {
 		return 0
 	}
-	return q.lenInt / q.env.now
+	return q.lenInt / dt
 }

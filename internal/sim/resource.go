@@ -79,6 +79,7 @@ func (r *Resource) Release() {
 	if len(r.queue) > 0 {
 		// Hand the slot directly to the next waiter; inUse stays.
 		ev := r.queue[0]
+		r.queue[0] = nil // unpin the fired event from the backing array
 		r.queue = r.queue[1:]
 		ev.Trigger(nil)
 		return

@@ -22,16 +22,23 @@ type Gate struct {
 	// MinRequests skips runs that measured fewer requests than this
 	// (tiny windows are all noise).
 	MinRequests uint64
+	// MaxEventsPerSecDrop fails the comparison when the simulator's own
+	// wall-clock event rate fell below baseline*(1-frac). Checked only
+	// when both reports carry a SimPerf block (wall-clock measurements
+	// exist only in bench-produced reports). 0 disables the check.
+	MaxEventsPerSecDrop float64
 }
 
 // DefaultGate returns the CI policy: 5% throughput drop, 25% p999
-// inflation above a 25 µs floor, runs of at least 50 requests.
+// inflation above a 25 µs floor, runs of at least 50 requests, 10%
+// simulator events/sec drop.
 func DefaultGate() Gate {
 	return Gate{
-		MaxThroughputDrop: 0.05,
-		MaxP999Inflate:    0.25,
-		P999Floor:         25e-6,
-		MinRequests:       50,
+		MaxThroughputDrop:   0.05,
+		MaxP999Inflate:      0.25,
+		P999Floor:           25e-6,
+		MinRequests:         50,
+		MaxEventsPerSecDrop: 0.10,
 	}
 }
 
@@ -106,6 +113,15 @@ func Compare(base, cur *Report, g Gate) ([]RunDelta, []string) {
 			violations = append(violations, d.Key+": "+v)
 		}
 		deltas = append(deltas, d)
+	}
+	if g.MaxEventsPerSecDrop > 0 && base.SimPerf != nil && cur.SimPerf != nil &&
+		base.SimPerf.EventsPerSec > 0 &&
+		cur.SimPerf.EventsPerSec < base.SimPerf.EventsPerSec*(1-g.MaxEventsPerSecDrop) {
+		violations = append(violations, fmt.Sprintf(
+			"sim-perf: events/sec regressed %.1f%%: %.0f -> %.0f (gate %.0f%%)",
+			(1-cur.SimPerf.EventsPerSec/base.SimPerf.EventsPerSec)*100,
+			base.SimPerf.EventsPerSec, cur.SimPerf.EventsPerSec,
+			g.MaxEventsPerSecDrop*100))
 	}
 	return deltas, violations
 }

@@ -64,6 +64,11 @@ type RunRecord struct {
 	ThroughputBps float64 `json:"throughput_bytes_per_sec"`
 	ReqPerSec     float64 `json:"req_per_sec"`
 
+	// SimEvents counts calendar entries the simulator dispatched during
+	// this run. It is a deterministic function of the seed (same-seed
+	// runs report identical values), unlike the wall-clock SimPerf block.
+	SimEvents uint64 `json:"sim_events"`
+
 	Latency  LatencySummary     `json:"latency"`
 	Counters map[string]float64 `json:"counters,omitempty"`
 	Faults   *FaultSummary      `json:"faults,omitempty"`
@@ -177,6 +182,10 @@ func (sc *RunScope) RecordResults(duration float64, requests, errors uint64,
 // RecordFaults attaches a fault campaign's recovery summary.
 func (sc *RunScope) RecordFaults(fs FaultSummary) { sc.rec.Faults = &fs }
 
+// RecordSimEvents attaches the simulator's dispatched-event count for
+// this run (callers diff Env.Events() across the run).
+func (sc *RunScope) RecordSimEvents(n uint64) { sc.rec.SimEvents = n }
+
 // MetricFinal is one metric's end-of-run value in the report.
 type MetricFinal struct {
 	Name   string            `json:"name"`
@@ -192,17 +201,32 @@ type SeriesEntry struct {
 	Digest Digest            `json:"digest"`
 }
 
+// SimPerf is the wall-clock performance of the simulator itself over
+// one harness invocation. It is measured, not simulated — two same-seed
+// runs report different SimPerf — so BuildReport never fills it; only
+// the top-level command attaches it after the deterministic report is
+// assembled (the determinism golden tests compare reports byte-for-byte
+// before that point).
+type SimPerf struct {
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
 // Report is the machine-readable record of one harness invocation:
 // what ran, with which knobs, and every number the run produced.
 type Report struct {
-	Schema string            `json:"schema"`
-	Name   string            `json:"name"`
-	Seed   uint64            `json:"seed"`
-	Quick  bool              `json:"quick"`
-	Config map[string]string `json:"config,omitempty"`
-	Runs   []*RunRecord      `json:"runs"`
-	Finals []MetricFinal     `json:"counters"`
-	Series []SeriesEntry     `json:"series,omitempty"`
+	Schema  string            `json:"schema"`
+	Name    string            `json:"name"`
+	Seed    uint64            `json:"seed"`
+	Quick   bool              `json:"quick"`
+	Config  map[string]string `json:"config,omitempty"`
+	Runs    []*RunRecord      `json:"runs"`
+	Finals  []MetricFinal     `json:"counters"`
+	Series  []SeriesEntry     `json:"series,omitempty"`
+	SimPerf *SimPerf          `json:"sim_perf,omitempty"`
 }
 
 // BuildReport assembles the report from everything the registry has

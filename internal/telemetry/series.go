@@ -126,21 +126,17 @@ func (r *Registry) NewSampler(env *sim.Env, ms []*Metric) *Sampler {
 }
 
 // Run samples on the virtual-time grid (start+i*interval] until the
-// stop time, inclusive of one final sample at or past stop. Scheduling
-// uses the deterministic sim calendar, so same-seed runs sample at
-// identical instants.
+// stop time, inclusive of one final sample at or past stop. The grid
+// rides the environment's shared Ticker for the interval: all samplers
+// (and the trace counter sampler) at the same cadence share one
+// calendar entry per tick instead of each running its own timer chain.
+// Scheduling stays on the deterministic sim calendar, so same-seed runs
+// sample at identical instants.
 func (s *Sampler) Run(stop float64) {
 	if len(s.metrics) == 0 {
 		return
 	}
-	var tick func()
-	tick = func() {
-		s.sampleOnce()
-		if s.env.Now()+s.interval <= stop {
-			s.env.After(s.interval, tick)
-		}
-	}
-	s.env.After(s.interval, tick)
+	s.env.Ticker(s.interval).Subscribe(stop, s.sampleOnce)
 }
 
 // sampleOnce appends one reading per metric at the current instant.
