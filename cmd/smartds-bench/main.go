@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/disagg/smartds/internal/experiments"
+	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
 )
@@ -46,6 +47,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file covering every cluster run")
 	breakdown := flag.Bool("breakdown", false, "append per-stage latency breakdown tables (fig7, ext-reads)")
 	faultSpec := flag.String("faults", "", "ext-faults campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
+	replication := flag.String("replication", "primary", "replication protocol for every cluster: primary, chain, or quorum")
 	reportFile := flag.String("report", "", "write the machine-readable run report (JSON) to this file")
 	metricsFile := flag.String("metrics", "", "write an OpenMetrics snapshot to this file")
 	seriesCSV := flag.String("series-csv", "", "write sampled time series as CSV to this file")
@@ -76,7 +78,12 @@ func main() {
 		}()
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown, FaultSpec: *faultSpec}
+	proto, err := middletier.ParseProtocol(*replication)
+	if err != nil {
+		fatal(err)
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown,
+		FaultSpec: *faultSpec, Replication: proto}
 	if *traceFile != "" {
 		opt.Trace = trace.New(1 << 18)
 	}
@@ -107,10 +114,11 @@ func main() {
 	}
 	if *reportFile != "" {
 		rep := opt.Telemetry.BuildReport(*exp, *seed, *quick, map[string]string{
-			"exp":       *exp,
-			"quick":     strconv.FormatBool(*quick),
-			"breakdown": strconv.FormatBool(*breakdown),
-			"faults":    *faultSpec,
+			"exp":         *exp,
+			"quick":       strconv.FormatBool(*quick),
+			"breakdown":   strconv.FormatBool(*breakdown),
+			"faults":      *faultSpec,
+			"replication": proto.String(),
 		})
 		// SimPerf is wall-clock (non-deterministic), so it is attached
 		// here — after BuildReport — and never inside the registry, which

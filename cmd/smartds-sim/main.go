@@ -70,6 +70,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	breakdown := flag.Bool("breakdown", false, "print per-stage latency attribution tables")
 	faultSpec := flag.String("faults", "", "fault campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
+	replication := flag.String("replication", "primary", "replication protocol: primary | chain | quorum")
 
 	flag.Parse()
 
@@ -93,9 +94,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	proto, err := middletier.ParseProtocol(*replication)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := cluster.DefaultConfig(kind)
 	cfg.Seed = *seed
 	cfg.Functional = !*modeled
+	cfg.MT.Protocol = proto
 	cfg.NumStorage = *storageN
 	cfg.NumClients = *clients
 	cfg.MT.Workers = *workers

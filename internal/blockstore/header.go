@@ -86,6 +86,14 @@ type Header struct {
 	PayloadLen uint32
 	OrigLen    uint32 // uncompressed block length
 	CRC        uint32 // CRC32-C of the original block
+	// Version is the middle tier's writer-assigned version of the block
+	// (monotonic per middle-tier server). Replicate requests carry it so
+	// storage servers can refuse regressions (a stale read-repair or
+	// re-replication must never clobber a newer append); fetch replies
+	// echo the stored record's version so quorum reads can pick the
+	// newest replica. Zero means unversioned (legacy/maintenance
+	// traffic) and disables the regression guard.
+	Version uint64
 }
 
 // ErrBadHeader reports a malformed header.
@@ -107,6 +115,7 @@ func (h *Header) Encode() []byte {
 	binary.LittleEndian.PutUint32(b[40:], h.PayloadLen)
 	binary.LittleEndian.PutUint32(b[44:], h.OrigLen)
 	binary.LittleEndian.PutUint32(b[48:], h.CRC)
+	binary.LittleEndian.PutUint64(b[52:], h.Version)
 	return b
 }
 
@@ -131,6 +140,7 @@ func Decode(b []byte) (Header, error) {
 		PayloadLen: binary.LittleEndian.Uint32(b[40:]),
 		OrigLen:    binary.LittleEndian.Uint32(b[44:]),
 		CRC:        binary.LittleEndian.Uint32(b[48:]),
+		Version:    binary.LittleEndian.Uint64(b[52:]),
 	}
 	if h.Op < OpWrite || h.Op > OpFetchReply {
 		return Header{}, ErrBadHeader

@@ -55,13 +55,21 @@ func (c *Cluster) ReconnectTransport() {
 	}
 }
 
-// CheckAckedWrites verifies the durability contract the failover tests
-// assert: every write a client saw acknowledged is still readable with
-// the right bytes from at least one replica in the chunk's current
-// placement. It returns nil when the contract holds; the error details
-// the first few violations. Modeled-payload writes (no real bytes) are
-// skipped. LBAs are walked in sorted order so reports are
-// deterministic.
+// CheckAckedWrites verifies the protocol-generic durability contract
+// the failover tests assert: every write a client saw acknowledged is
+// still readable with the right bytes from enough healthy replicas in
+// the chunk's current placement that every subsequent read must
+// observe it. With n placement members of which h are currently
+// serving, reads consult ReadQuorum(n) of the healthy members, so the
+// block must be held by at least h-ReadQuorum(n)+1 of them (floor 1):
+// for primary fan-out and chain (read quorum 1) that is every healthy
+// member; for the 3-replica quorum protocol it is enough that every
+// 2-member read quorum intersects the holders. Members that are down
+// right now are exempt — reads cannot reach them and recovery rebuilds
+// them from the survivors before they serve again. It returns nil when
+// the contract holds; the error details the first few violations.
+// Modeled-payload writes (no real bytes) are skipped. LBAs are walked
+// in sorted order so reports are deterministic.
 func (c *Cluster) CheckAckedWrites() error {
 	var violations []string
 	checked := 0
@@ -84,10 +92,20 @@ func (c *Cluster) CheckAckedWrites() error {
 						cl.id, lba, loc.SegmentID, loc.ChunkID))
 				continue
 			}
-			if !c.blockReadable(loc, set, block) {
+			healthy := make([]int, 0, len(set))
+			for _, idx := range set {
+				if idx >= 0 && idx < len(c.Storage) && !c.Storage[idx].Down() {
+					healthy = append(healthy, idx)
+				}
+			}
+			need := len(healthy) - c.MT.ReadQuorum(len(set)) + 1
+			if need < 1 {
+				need = 1
+			}
+			if holders := c.blockHolders(loc, healthy, block); holders < need {
 				violations = append(violations,
-					fmt.Sprintf("vm%d lba %d: no replica in %v holds matching bytes",
-						cl.id, lba, set))
+					fmt.Sprintf("vm%d lba %d: %d of healthy %v (placement %v) hold matching bytes, reads need %d",
+						cl.id, lba, holders, healthy, set, need))
 			}
 			if len(violations) >= 8 {
 				return fmt.Errorf("cluster: %d+ acked writes unreadable (checked %d): %v",
@@ -102,10 +120,11 @@ func (c *Cluster) CheckAckedWrites() error {
 	return nil
 }
 
-// blockReadable reports whether any replica in set holds the block's
-// bytes (decoding the stored frame when it was compressed).
-func (c *Cluster) blockReadable(loc blockstore.Location, set []int, block []byte) bool {
+// blockHolders counts the replicas in set holding the block's bytes
+// (decoding the stored frame when it was compressed).
+func (c *Cluster) blockHolders(loc blockstore.Location, set []int, block []byte) int {
 	key := storage.BlockKey{SegmentID: loc.SegmentID, ChunkID: loc.ChunkID, BlockOff: loc.BlockOff}
+	holders := 0
 	for _, idx := range set {
 		if idx < 0 || idx >= len(c.Storage) {
 			continue
@@ -123,8 +142,8 @@ func (c *Cluster) blockReadable(loc blockstore.Location, set []int, block []byte
 			data = orig
 		}
 		if bytes.Equal(data, block) {
-			return true
+			holders++
 		}
 	}
-	return false
+	return holders
 }

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/disagg/smartds/internal/faults"
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/netsim"
+	"github.com/disagg/smartds/internal/rng"
+	"github.com/disagg/smartds/internal/telemetry"
+)
+
+// TestProtocolLossSweep drives every replication protocol through the
+// RDMA loss sweep (0-20% packet loss on every fabric link) with a
+// mixed read/write workload and real payloads. Go-back-N must hide the
+// loss from the protocols completely: every read observes the bytes
+// the acked write carried (exactly-once, in-order delivery at the
+// transport plus read-observes-write at the protocol — for quorum that
+// includes version-ranked reads repairing stale replicas), and the
+// durability contract holds for every acked write.
+func TestProtocolLossSweep(t *testing.T) {
+	for _, proto := range middletier.Protocols() {
+		for _, p := range []float64{0, 0.05, 0.10, 0.20} {
+			proto, p := proto, p
+			t.Run(fmt.Sprintf("%s/loss=%.0f%%", proto, p*100), func(t *testing.T) {
+				t.Parallel()
+				cfg := smallCfg(middletier.CPUOnly)
+				cfg.Seed = 23
+				cfg.MT.Protocol = proto
+				cfg.MT.ReplicateTimeout = 1.5e-3
+				c := New(cfg)
+				if p > 0 {
+					r := rng.New(99)
+					c.Fabric.SetLossFn(func(m *netsim.Message) bool { return r.Float64() < p })
+				}
+				res := c.Run(Workload{Window: 8, Warmup: 1e-3, Measure: 8e-3, ReadFraction: 0.4})
+
+				if res.Requests == 0 {
+					t.Fatal("no requests completed")
+				}
+				if c.MT.ReadsDone == 0 {
+					t.Fatal("no reads served; the sweep must exercise the read path")
+				}
+				if res.VerifyMismatches != 0 {
+					t.Fatalf("%d reads returned bytes that did not match the acked write", res.VerifyMismatches)
+				}
+				if err := c.CheckAckedWrites(); err != nil {
+					t.Fatalf("durability violated under %.0f%% loss: %v", p*100, err)
+				}
+				rtx := uint64(0)
+				for _, st := range c.MT.TransportStacks() {
+					rtx += st.Stats().Retransmits
+				}
+				if p > 0 && rtx == 0 {
+					t.Fatalf("%.0f%% loss produced no retransmits (loss not injected?)", p*100)
+				}
+				if p == 0 && rtx != 0 {
+					t.Fatalf("lossless fabric retransmitted %d times", rtx)
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolStaleAckBattery is the cluster-level stale-ack
+// regression (the unit-level interleaving is pinned in
+// middletier's TestPrimaryReplicatorRetryIgnoresStaleAck): a scripted
+// campaign degrades one storage link hard while the replicate timeout
+// is tight, so fan-outs time out, retry under fresh ids, and the
+// slow-but-alive server's acks arrive after abandonment. Those
+// stragglers must be counted stale — not credited to the retry — and
+// the durability contract must hold for everything the client saw
+// acked.
+func TestProtocolStaleAckBattery(t *testing.T) {
+	for _, proto := range middletier.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallCfg(middletier.CPUOnly)
+			cfg.Seed = 17
+			cfg.NumStorage = 5
+			cfg.MT.Protocol = proto
+			// Tight enough that a 50x-degraded link's acks miss it.
+			cfg.MT.ReplicateTimeout = 60e-6
+			c := New(cfg)
+			sched := faults.MustParse("degrade:ss1@2ms+5ms:0.02")
+			if _, err := c.ApplyFaults(sched); err != nil {
+				t.Fatal(err)
+			}
+			res := c.Run(Workload{Window: 8, Warmup: 1e-3, Measure: 10e-3})
+
+			if res.Requests == 0 {
+				t.Fatal("no requests completed")
+			}
+			if c.MT.ReplicateRetries == 0 {
+				t.Fatal("degraded link never forced a replicate retry (schedule too gentle?)")
+			}
+			if c.MT.StaleAcks == 0 {
+				t.Fatal("no stale acks: stragglers from abandoned fan-outs were not exercised")
+			}
+			if res.VerifyMismatches != 0 {
+				t.Fatalf("%d read-verify mismatches", res.VerifyMismatches)
+			}
+			if err := c.CheckAckedWrites(); err != nil {
+				t.Fatalf("stale-ack accounting broke durability: %v", err)
+			}
+		})
+	}
+}
+
+// TestProtocolReportGoldenDeterminism pins the cross-protocol golden
+// contract: for each replication protocol, two same-seed instrumented
+// campaign runs produce byte-identical run reports, and the report
+// carries the protocol label so per-protocol runs stay
+// distinguishable. Runs under CI's -run 'Determin' golden step.
+func TestProtocolReportGoldenDeterminism(t *testing.T) {
+	for _, proto := range middletier.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			artifact := func() string {
+				reg := telemetry.NewRegistry()
+				cfg := smallCfg(middletier.SmartDS)
+				cfg.Seed = 42
+				cfg.Functional = false
+				cfg.NumStorage = 5
+				cfg.MT.Protocol = proto
+				cfg.MT.ReplicateTimeout = 1.5e-3
+				cfg.Telemetry = reg
+				cfg.TelemetryExp = "golden-protocols"
+				c := New(cfg)
+				sched := faults.MustParse("crash:ss1@3ms+2ms")
+				if _, err := c.ApplyFaults(sched); err != nil {
+					t.Fatal(err)
+				}
+				c.Run(Workload{Window: 16, Warmup: 2e-3, Measure: 8e-3})
+				rr := reg.Runs()[0]
+				if rr.Protocol != proto.String() {
+					t.Fatalf("run record protocol = %q, want %q", rr.Protocol, proto)
+				}
+				rep := reg.BuildReport("golden-protocols", 42, true, nil)
+				var buf bytes.Buffer
+				if err := telemetry.WriteReport(&buf, rep); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			first, second := artifact(), artifact()
+			if first != second {
+				t.Fatalf("same-seed %s reports differ:\n--- first ---\n%.2000s\n--- second ---\n%.2000s",
+					proto, first, second)
+			}
+		})
+	}
+}

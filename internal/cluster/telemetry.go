@@ -78,6 +78,14 @@ func (c *Cluster) instrument(sc *telemetry.RunScope) {
 		nil, func() float64 { return float64(mt.EngineReroutes) })
 	sc.CounterFunc("smartds_mt_rebuild_bytes_total", "Snapshot bytes streamed rebuilding crashed servers.",
 		nil, func() float64 { return mt.RebuildBytes })
+	sc.CounterFunc("smartds_mt_stale_acks_total", "Storage acks arriving after their fan-out completed or was abandoned.",
+		nil, func() float64 { return float64(mt.StaleAcks) })
+	sc.CounterFunc("smartds_mt_read_repairs_total", "Stale replicas rewritten by quorum reads.",
+		nil, func() float64 { return float64(mt.ReadRepairs) })
+	sc.CounterFunc("smartds_mt_repair_bytes_total", "Frame bytes pushed by quorum read-repairs.",
+		nil, func() float64 { return mt.RepairBytes })
+	sc.CounterFunc("smartds_mt_backfill_bytes_total", "Chunk snapshot bytes copied onto substituted replicas.",
+		nil, func() float64 { return mt.BackfillBytes })
 	sc.GaugeFunc("smartds_mt_inflight_fanouts", "Client requests with replication fan-outs outstanding.",
 		nil, func() float64 { return float64(mt.InflightFanouts()) })
 

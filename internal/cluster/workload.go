@@ -149,6 +149,7 @@ func (c *Cluster) Run(w Workload) Results {
 	var scope *telemetry.RunScope
 	if c.cfg.Telemetry != nil {
 		scope = c.cfg.Telemetry.NewRun(c.cfg.TelemetryExp, c.KindName(), c.cfg.Seed)
+		scope.SetProtocol(c.MT.ReplicatorName())
 		c.instrument(scope)
 	}
 	ev0 := c.Env.Events()

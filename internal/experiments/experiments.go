@@ -42,6 +42,10 @@ type Options struct {
 	// FaultSpec overrides the ext-faults campaign schedule (see
 	// internal/faults for the grammar). Empty uses DefaultFaultSpec.
 	FaultSpec string
+	// Replication selects the middle tier's replication protocol for
+	// every cluster an experiment builds (primary fan-out, chain, or
+	// quorum). The zero value is primary fan-out, the paper's protocol.
+	Replication middletier.Protocol
 	// Telemetry, when set, collects every cluster's instruments and run
 	// records into the central registry; Run threads the experiment id
 	// into the run labels automatically.
@@ -79,6 +83,7 @@ func (o Options) newCluster(kind middletier.Kind, mutate func(*cluster.Config)) 
 	cfg := cluster.DefaultConfig(kind)
 	cfg.Seed = o.Seed
 	cfg.Functional = o.functional()
+	cfg.MT.Protocol = o.Replication
 	cfg.Disk = expDisk()
 	cfg.Trace = o.Trace
 	cfg.Telemetry = o.Telemetry

@@ -25,7 +25,7 @@ func skipInShort(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ext-failover", "ext-faults", "ext-reads", "fig10", "fig4", "fig7", "fig8", "fig9", "sec55", "table1", "table3"}
+	want := []string{"ext-failover", "ext-faults", "ext-faults-protocols", "ext-reads", "fig10", "fig4", "fig7", "fig8", "fig9", "sec55", "table1", "table3"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("experiments registered: %v", got)

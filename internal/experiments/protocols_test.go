@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/faults"
+	"github.com/disagg/smartds/internal/middletier"
+)
+
+// runProtocolCell reproduces exactly one cell of the ext-faults-protocols
+// battery: one protocol x one design under the default campaign, full
+// functional payloads, and returns the cluster for invariant checks.
+func runProtocolCell(t *testing.T, proto middletier.Protocol, kind middletier.Kind) (*cluster.Cluster, cluster.Results) {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Replication = proto
+	sched, err := faults.Parse(DefaultFaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := opt.newCluster(kind, func(cc *cluster.Config) {
+		cc.NumStorage = 5
+		cc.MT.ReplicateTimeout = faultReplicateTimeout
+	})
+	if _, err := c.ApplyFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	warm := 2e-3
+	meas := 12e-3
+	if end := sched.LastEnd() + 6e-3 - warm; end > meas {
+		meas = end
+	}
+	res := c.Run(cluster.Workload{Window: 128, Warmup: warm, Measure: meas})
+	return c, res
+}
+
+// TestProtocolFaultBatteryDurability is the acceptance gate: every
+// protocol x design cell of the comparison battery must satisfy the
+// protocol's durability contract (CheckAckedWrites) across the full
+// default fault campaign — zero violations.
+func TestProtocolFaultBatteryDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full functional battery is minutes of sim; run without -short")
+	}
+	for _, proto := range middletier.Protocols() {
+		for _, kind := range []middletier.Kind{
+			middletier.CPUOnly, middletier.Accel, middletier.BF2, middletier.SmartDS,
+		} {
+			proto, kind := proto, kind
+			t.Run(proto.String()+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				c, res := runProtocolCell(t, proto, kind)
+				if err := c.CheckAckedWrites(); err != nil {
+					t.Fatalf("durability violated: %v", err)
+				}
+				if res.VerifyMismatches > 0 {
+					t.Fatalf("%d read verify mismatches", res.VerifyMismatches)
+				}
+				if res.Requests == 0 {
+					t.Fatal("no requests completed")
+				}
+			})
+		}
+	}
+}

@@ -34,8 +34,9 @@ var registry = map[string]Runner{
 		}
 		return out
 	},
-	"ext-failover": func(o Options) []*metrics.Table { return []*metrics.Table{ExtFailover(o)} },
-	"ext-faults":   ExtFaults,
+	"ext-failover":         func(o Options) []*metrics.Table { return []*metrics.Table{ExtFailover(o)} },
+	"ext-faults":           ExtFaults,
+	"ext-faults-protocols": ExtFaultsProtocols,
 }
 
 // Names lists the available experiment ids in stable order.

@@ -1,0 +1,102 @@
+package middletier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AckSet is the wire snapshot of one quorum fan-out's ack accounting:
+// which attempt it was, how many replies were expected, how many OK
+// acks the quorum needed, and the per-reply statuses collected so far.
+// The quorum replicator emits it (hex) in replicate-timeout trace
+// events so a stuck quorum is diagnosable from the trace alone, and the
+// decoder is a fuzz target (FuzzAckSetDecode): it parses bytes straight
+// out of trace files, so it must never panic or over-allocate on
+// corrupt input.
+type AckSet struct {
+	RepID    uint64
+	Attempt  uint32
+	Expected uint32
+	Need     uint32
+	Statuses []uint8
+}
+
+// maxAckSetStatuses bounds the decoded status list. Real fan-outs are
+// replication-factor sized (3..5); the cap only exists so a corrupt
+// length prefix cannot make Decode allocate unbounded memory.
+const maxAckSetStatuses = 1024
+
+// errBadAckSet reports a truncated or corrupt ack-set encoding.
+var errBadAckSet = errors.New("middletier: malformed ack set")
+
+// Encode serializes the ack set (varint fields, length-prefixed
+// statuses).
+func (a *AckSet) Encode() []byte {
+	b := make([]byte, 0, 5*binary.MaxVarintLen64+len(a.Statuses))
+	b = binary.AppendUvarint(b, a.RepID)
+	b = binary.AppendUvarint(b, uint64(a.Attempt))
+	b = binary.AppendUvarint(b, uint64(a.Expected))
+	b = binary.AppendUvarint(b, uint64(a.Need))
+	b = binary.AppendUvarint(b, uint64(len(a.Statuses)))
+	b = append(b, a.Statuses...)
+	return b
+}
+
+// DecodeAckSet parses an encoded ack set, rejecting truncated input,
+// trailing garbage, oversized fields, and implausible status counts.
+func DecodeAckSet(b []byte) (AckSet, error) {
+	var a AckSet
+	u32 := func() (uint32, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 || v > 1<<32-1 {
+			return 0, errBadAckSet
+		}
+		b = b[n:]
+		return uint32(v), nil
+	}
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return AckSet{}, errBadAckSet
+	}
+	b = b[n:]
+	a.RepID = v
+	var err error
+	if a.Attempt, err = u32(); err != nil {
+		return AckSet{}, err
+	}
+	if a.Expected, err = u32(); err != nil {
+		return AckSet{}, err
+	}
+	if a.Need, err = u32(); err != nil {
+		return AckSet{}, err
+	}
+	count, err := u32()
+	if err != nil {
+		return AckSet{}, err
+	}
+	if count > maxAckSetStatuses {
+		return AckSet{}, fmt.Errorf("middletier: ack set claims %d statuses: %w", count, errBadAckSet)
+	}
+	if uint32(len(b)) != count {
+		return AckSet{}, errBadAckSet
+	}
+	if count > 0 {
+		a.Statuses = append([]uint8(nil), b...)
+	}
+	return a, nil
+}
+
+// encodeAckSet snapshots a pending fan-out for trace emission.
+func encodeAckSet(repID uint64, attempt int, pr *pendingReq) []byte {
+	a := AckSet{
+		RepID:    repID,
+		Attempt:  uint32(attempt),
+		Expected: uint32(pr.expected),
+		Need:     uint32(pr.need),
+	}
+	for _, st := range pr.acks {
+		a.Statuses = append(a.Statuses, uint8(st))
+	}
+	return a.Encode()
+}

@@ -1,0 +1,79 @@
+package middletier
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func TestAckSetRoundTrip(t *testing.T) {
+	cases := []AckSet{
+		{},
+		{RepID: 1, Attempt: 1, Expected: 3, Need: 3},
+		{RepID: 7, Attempt: 2, Expected: 5, Need: 3, Statuses: []uint8{0, 0, 1}},
+		{RepID: 1<<64 - 1, Attempt: 1<<32 - 1, Expected: 1<<32 - 1, Need: 1<<32 - 1,
+			Statuses: bytes.Repeat([]byte{0xff}, maxAckSetStatuses)},
+	}
+	for i, a := range cases {
+		got, err := DecodeAckSet(a.Encode())
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("case %d: round trip %+v != %+v", i, got, a)
+		}
+	}
+}
+
+func TestAckSetDecodeRejectsCorrupt(t *testing.T) {
+	valid := (&AckSet{RepID: 7, Attempt: 2, Expected: 5, Need: 3, Statuses: []uint8{0, 0, 1}}).Encode()
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": valid[:len(valid)-2],
+		"trailing":  append(append([]byte(nil), valid...), 0xaa),
+	}
+	// An encoding claiming more statuses than the cap allows.
+	big := binary.AppendUvarint(nil, 1)
+	big = binary.AppendUvarint(big, 1)
+	big = binary.AppendUvarint(big, 1)
+	big = binary.AppendUvarint(big, 1)
+	big = binary.AppendUvarint(big, maxAckSetStatuses+1)
+	cases["count over cap"] = big
+	// A u32 field holding a value that only fits in u64.
+	wide := binary.AppendUvarint(nil, 1)
+	wide = binary.AppendUvarint(wide, 1<<33)
+	cases["attempt overflow"] = wide
+	for name, b := range cases {
+		if _, err := DecodeAckSet(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt input %x", name, b)
+		}
+	}
+}
+
+// FuzzAckSetDecode hammers the trace-facing decoder: it must never
+// panic or over-allocate, and any input it accepts must re-encode to a
+// canonical form that decodes to the same value (decode∘encode is the
+// identity on accepted values).
+func FuzzAckSetDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&AckSet{RepID: 1, Attempt: 1, Expected: 3, Need: 3}).Encode())
+	f.Add((&AckSet{RepID: 7, Attempt: 2, Expected: 5, Need: 3, Statuses: []uint8{0, 0, 1}}).Encode())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := DecodeAckSet(b)
+		if err != nil {
+			return
+		}
+		if len(a.Statuses) > maxAckSetStatuses {
+			t.Fatalf("accepted %d statuses, cap is %d", len(a.Statuses), maxAckSetStatuses)
+		}
+		again, err := DecodeAckSet(a.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted value failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, a) {
+			t.Fatalf("re-encode round trip changed the value: %+v != %+v", again, a)
+		}
+	})
+}

@@ -88,13 +88,13 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	// Which port's storage QPs: same port the client is bound to.
 	path := s.bf2PathOf(clientQP)
 	tr.Begin(p.Now(), "mt", "replicate", tid)
-	stored := 0
-	status := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
+	version := s.nextWriteVersion()
+	status, stored := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
 		rh := blockstore.Header{
 			Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
 			VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
 			ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
-			OrigLen: uint32(req.size), CRC: req.hdr.CRC,
+			OrigLen: uint32(req.size), CRC: req.hdr.CRC, Version: version,
 		}
 		var msg []byte
 		if frame != nil {
@@ -104,7 +104,6 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 			msg = rh.Encode()
 		}
 		msgSize := blockstore.HeaderSize + frameSize
-		stored = len(set)
 		for _, idx := range set {
 			qp := s.storagePaths[path][idx]
 			// Network-out: read the frame from SoC DRAM per replica.
@@ -131,23 +130,56 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tr.End(p.Now(), "mt", "parse", tid)
 
 	path := s.bf2PathOf(clientQP)
-	idx, ok := s.readReplicaFor(req.hdr)
-	if !ok {
-		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-		tr.Begin(p.Now(), "net", "reply", tid)
-		clientQP.Send(reply.Encode())
-		s.ReadsDone++
-		return
+	var pr *pendingReq
+	if s.cfg.Protocol == ProtoQuorum {
+		tr.Begin(p.Now(), "mt", "fetch", tid)
+		winner, qok := s.quorumFetch(p, req.hdr,
+			func(fh blockstore.Header, idx int) {
+				s.storagePaths[path][idx].Send(fh.Encode())
+			},
+			func(rh blockstore.Header, frame []byte, frameSize float64, idx int) {
+				var msg []byte
+				if frame != nil {
+					msg = blockstore.Message(&rh, frame)
+				} else {
+					rh.PayloadLen = uint32(frameSize)
+					msg = rh.Encode()
+				}
+				msgSize := blockstore.HeaderSize + frameSize
+				// Network-out: the repair frame leaves SoC DRAM like any
+				// replicate frame.
+				s.bf2Mem.Access(p, msgSize)
+				s.storagePaths[path][idx].SendSized(msg, msgSize)
+			})
+		tr.End(p.Now(), "mt", "fetch", tid)
+		if !qok {
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+			tr.Begin(p.Now(), "net", "reply", tid)
+			clientQP.Send(reply.Encode())
+			s.ReadsDone++
+			return
+		}
+		pr = winner
+	} else {
+		idx, ok := s.readReplicaFor(req.hdr)
+		if !ok {
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+			tr.Begin(p.Now(), "net", "reply", tid)
+			clientQP.Send(reply.Encode())
+			s.ReadsDone++
+			return
+		}
+		repID, spr := s.newPending(1)
+		fh := blockstore.Header{
+			Op: blockstore.OpFetch, ReqID: repID,
+			SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+		}
+		tr.Begin(p.Now(), "mt", "fetch", tid)
+		s.storagePaths[path][idx].Send(fh.Encode())
+		p.Wait(spr.done)
+		tr.End(p.Now(), "mt", "fetch", tid)
+		pr = spr
 	}
-	repID, pr := s.newPending(1)
-	fh := blockstore.Header{
-		Op: blockstore.OpFetch, ReqID: repID,
-		SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
-	}
-	tr.Begin(p.Now(), "mt", "fetch", tid)
-	s.storagePaths[path][idx].Send(fh.Encode())
-	p.Wait(pr.done)
-	tr.End(p.Now(), "mt", "fetch", tid)
 
 	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
 	if pr.status != blockstore.StatusOK {

@@ -24,43 +24,17 @@ import (
 // attempt; repeated failure means the cluster itself is unhealthy.
 const maxReplicateAttempts = 4
 
-// replicateWait runs one write's replication fan-out with timeout and
-// retry. send must issue the replicate message to every server in set,
-// tagged with repID, through whatever front end the design has; it may
-// be called several times, each with a fresh repID and a (possibly
-// refreshed) replica set. The returned status is what the client ack
-// carries.
+// replicateWait runs one write's replication through the configured
+// protocol (replicator.go). send must issue the replicate message to
+// every server in set, tagged with repID, through whatever front end
+// the design has; the protocol may call it several times, each with a
+// fresh repID and whatever subset its fan-out order dictates. The
+// returned status is what the client ack carries; stored is how many
+// replicas the deciding attempt shipped the frame to (the BytesStored
+// accounting factor).
 func (s *Server) replicateWait(p *sim.Proc, hdr blockstore.Header, frameSize float64,
-	send func(repID uint64, set []int)) blockstore.Status {
-	for attempt := 0; attempt < maxReplicateAttempts; attempt++ {
-		set := s.replicasFor(hdr)
-		if len(set) == 0 {
-			// No reachable replica at all: fail the write rather than
-			// blocking the client forever.
-			return blockstore.StatusError
-		}
-		if attempt > 0 {
-			s.ReplicateRetries++
-			s.RetryBytes += frameSize * float64(len(set))
-		}
-		repID, pr := s.newPending(len(set))
-		send(repID, set)
-		if s.cfg.ReplicateTimeout <= 0 {
-			p.Wait(pr.done)
-			return pr.status
-		}
-		if _, ok := p.WaitTimeout(pr.done, s.cfg.ReplicateTimeout); ok {
-			return pr.status
-		}
-		// Timed out: orphan this fan-out — completePending ignores acks
-		// for deleted ids, so stragglers from slow-but-alive replicas are
-		// harmless (the storage write is idempotent: a later retry just
-		// appends a newer version) — and go around with a refreshed set.
-		delete(s.pending, repID)
-		s.cfg.Trace.Emit(p.Now(), "mt", "replicate-timeout",
-			fmt.Sprintf("attempt=%d replicas=%d", attempt+1, len(set)))
-	}
-	return blockstore.StatusError
+	send SendFn) (blockstore.Status, int) {
+	return s.rep.Replicate(s, p, hdr, frameSize, send)
 }
 
 // SetEngineDown fails (true) or restores (false) a compression engine:

@@ -186,15 +186,15 @@ func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byt
 	return frame, frameSize
 }
 
-// replicateAndReply fans the frame out to the replicas, waits for all
-// acks, and replies success to the client. Used by CPUOnly and Accel
-// (the NIC path); BF2 and SmartDS have their own senders.
+// replicateAndReply runs the frame through the replication protocol
+// and replies to the client. Used by CPUOnly and Accel (the NIC path);
+// BF2 and SmartDS have their own senders.
 func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, frame []byte, frameSize float64, flags uint8) {
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace
 	tr.Begin(p.Now(), "mt", "replicate", tid)
-	stored := 0
-	status := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
+	version := s.nextWriteVersion()
+	status, stored := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
 		rh := blockstore.Header{
 			Op:        blockstore.OpReplicate,
 			Flags:     flags,
@@ -205,6 +205,7 @@ func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, 
 			BlockOff:  req.hdr.BlockOff,
 			OrigLen:   uint32(req.size),
 			CRC:       req.hdr.CRC,
+			Version:   version,
 		}
 		var msg []byte
 		if frame != nil {
@@ -214,7 +215,6 @@ func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, 
 			msg = rh.Encode()
 		}
 		msgSize := blockstore.HeaderSize + frameSize
-		stored = len(set)
 		for _, idx := range set {
 			qp := s.storagePaths[0][idx]
 			s.nic.Send(qp, msg, msgSize)
@@ -242,28 +242,59 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 	core.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
 
-	idx, ok := s.readReplicaFor(req.hdr)
-	if !ok {
-		// Every replica of the chunk is down: answer the client instead
-		// of panicking or stalling.
-		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-		tr.Begin(p.Now(), "net", "reply", tid)
-		s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
-		s.ReadsDone++
-		return
+	var pr *pendingReq
+	if s.cfg.Protocol == ProtoQuorum {
+		tr.Begin(p.Now(), "mt", "fetch", tid)
+		winner, qok := s.quorumFetch(p, req.hdr,
+			func(fh blockstore.Header, idx int) {
+				s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
+			},
+			func(rh blockstore.Header, frame []byte, frameSize float64, idx int) {
+				var msg []byte
+				if frame != nil {
+					msg = blockstore.Message(&rh, frame)
+				} else {
+					rh.PayloadLen = uint32(frameSize)
+					msg = rh.Encode()
+				}
+				s.nic.Send(s.storagePaths[0][idx], msg, blockstore.HeaderSize+frameSize)
+			})
+		tr.End(p.Now(), "mt", "fetch", tid)
+		if !qok {
+			// No reachable read quorum: answer the client instead of
+			// panicking or stalling.
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+			tr.Begin(p.Now(), "net", "reply", tid)
+			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
+			s.ReadsDone++
+			return
+		}
+		pr = winner
+	} else {
+		idx, ok := s.readReplicaFor(req.hdr)
+		if !ok {
+			// Every replica of the chunk is down: answer the client instead
+			// of panicking or stalling.
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+			tr.Begin(p.Now(), "net", "reply", tid)
+			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
+			s.ReadsDone++
+			return
+		}
+		repID, spr := s.newPending(1)
+		fh := blockstore.Header{
+			Op:        blockstore.OpFetch,
+			ReqID:     repID,
+			SegmentID: req.hdr.SegmentID,
+			ChunkID:   req.hdr.ChunkID,
+			BlockOff:  req.hdr.BlockOff,
+		}
+		tr.Begin(p.Now(), "mt", "fetch", tid)
+		s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
+		p.Wait(spr.done)
+		tr.End(p.Now(), "mt", "fetch", tid)
+		pr = spr
 	}
-	repID, pr := s.newPending(1)
-	fh := blockstore.Header{
-		Op:        blockstore.OpFetch,
-		ReqID:     repID,
-		SegmentID: req.hdr.SegmentID,
-		ChunkID:   req.hdr.ChunkID,
-		BlockOff:  req.hdr.BlockOff,
-	}
-	tr.Begin(p.Now(), "mt", "fetch", tid)
-	s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
-	p.Wait(pr.done)
-	tr.End(p.Now(), "mt", "fetch", tid)
 
 	if pr.status != blockstore.StatusOK {
 		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}

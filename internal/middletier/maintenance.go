@@ -117,15 +117,22 @@ func (s *Server) StartMaintenance(cfg MaintenanceConfig, servers []*storage.Serv
 					ChunkID:    seq,
 					PayloadLen: uint32(cfg.CompactionBytes),
 				}
-				repID, pr := s.newPending(s.cfg.Replicas)
-				hdr.ReqID = repID
+				// Size the pending entry to the actual fan-out: under
+				// degraded mode replicasFor can return fewer servers than
+				// the replication factor, and a pending registered for the
+				// full factor would then never complete and wedge the
+				// compaction loop for the rest of the run.
+				var set []int
 				if s.numStorage > 0 {
-					for _, idx := range s.replicasFor(hdr) {
+					set = s.replicasFor(hdr)
+				}
+				if len(set) > 0 {
+					repID, pr := s.newPending(len(set))
+					hdr.ReqID = repID
+					for _, idx := range set {
 						s.sendMaintenance(hdr, idx, cfg.CompactionBytes)
 					}
 					p.Wait(pr.done)
-				} else {
-					s.completePendingAll(repID)
 				}
 				m.CompactionPasses++
 				m.BytesCompacted += cfg.CompactionBytes

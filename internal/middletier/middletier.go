@@ -19,6 +19,7 @@
 package middletier
 
 import (
+	"bytes"
 	"fmt"
 
 	"github.com/disagg/smartds/internal/blockstore"
@@ -84,6 +85,12 @@ type Config struct {
 	// clusters keep the seed behavior exactly); fault campaigns and the
 	// failover tests enable it.
 	ReplicateTimeout float64
+
+	// Protocol selects the replication protocol (replicator.go): primary
+	// fan-out (the default, the seed behavior), chain, or ABD-style
+	// quorum. It is orthogonal to Kind — every design runs every
+	// protocol.
+	Protocol Protocol
 
 	// DDIO mirrors the BIOS toggle for the Accel baseline (Fig. 8).
 	DDIO bool
@@ -162,12 +169,23 @@ func DefaultConfig(kind Kind) Config {
 // pendingReq tracks a fan-out to storage servers (replication) or a
 // single fetch.
 type pendingReq struct {
-	remaining int
-	done      *sim.Event
-	status    blockstore.Status
-	payload   []byte  // fetch replies: the stored frame (real bytes)
-	size      float64 // fetch replies: modeled frame size
-	hdr       blockstore.Header
+	remaining int // replies still outstanding
+	expected  int // replies the fan-out was registered with
+	// need is how many more OK acks make the fan-out a success. Primary
+	// fan-out and single fetches start it at expected (all replies must
+	// be OK); the quorum protocol starts it at the write quorum, so the
+	// fan-out completes — and is unregistered, making later minority
+	// acks stale by construction — the moment the quorum is met.
+	need   int
+	done   *sim.Event
+	status blockstore.Status
+	// acks records per-reply statuses in arrival order when the server
+	// tracks ack sets (non-primary protocols); replicate-timeout traces
+	// embed them (ackset.go) for diagnosis.
+	acks    []blockstore.Status
+	payload []byte  // fetch replies: the stored frame (real bytes)
+	size    float64 // fetch replies: modeled frame size
+	hdr     blockstore.Header
 	// release, when set, returns the receive descriptor holding the
 	// fetched payload (SmartDS read path).
 	release func()
@@ -221,6 +239,19 @@ type Server struct {
 	pending map[uint64]*pendingReq
 	nextRep uint64
 
+	// rep is the active replication protocol (replicator.go); trackAcks
+	// enables per-reply status capture for its trace diagnostics.
+	rep       Replicator
+	trackAcks bool
+	// nextVer is the writer-assigned block version counter: every write
+	// gets one version before its fan-out, stable across retry attempts,
+	// so storage servers can refuse regressions and quorum reads can
+	// rank replicas.
+	nextVer uint64
+	// storageServers mirrors ConnectStorage's argument for chunk
+	// backfill after replica substitution.
+	storageServers []*storage.Server
+
 	// engineDown marks failed compression engines: index 0 for the
 	// Accel card and the BF2 SoC engine, per-port for SmartDS.
 	engineDown []bool
@@ -241,6 +272,10 @@ type Server struct {
 	EngineFallbacks  uint64  // writes stored raw because an engine was down
 	EngineReroutes   uint64  // SmartDS writes compressed by a surviving port's engine
 	RebuildBytes     float64 // snapshot bytes streamed rebuilding crashed servers
+	StaleAcks        uint64  // storage acks arriving after their fan-out completed or was abandoned
+	ReadRepairs      uint64  // stale replicas rewritten by quorum reads
+	RepairBytes      float64 // frame bytes those read-repairs pushed
+	BackfillBytes    float64 // chunk snapshot bytes copied onto substituted replicas
 
 	clientConns  int
 	clientLocals []*rdma.QP // middle-tier side of each client connection
@@ -303,6 +338,8 @@ func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
 		pending:    make(map[uint64]*pendingReq),
 		placement:  make(map[chunkKey][]int),
 		engineDown: make([]bool, cfg.Ports),
+		rep:        newReplicator(cfg.Protocol),
+		trackAcks:  cfg.Protocol != ProtoPrimary,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		c, err := s.cpu.Claim()
@@ -509,21 +546,42 @@ func (s *Server) nextBF2Core() *host.Core {
 	return c
 }
 
-// newPending registers a fan-out of n expected replies.
+// newPending registers a fan-out of n expected replies that succeeds
+// only when all n are OK (primary fan-out, single fetches).
 func (s *Server) newPending(n int) (uint64, *pendingReq) {
+	return s.newPendingQuorum(n, n)
+}
+
+// newPendingQuorum registers a fan-out of `expected` replies that
+// succeeds at `need` OK acks.
+func (s *Server) newPendingQuorum(expected, need int) (uint64, *pendingReq) {
 	s.nextRep++
-	pr := &pendingReq{remaining: n, done: s.env.NewEvent(), status: blockstore.StatusOK}
+	pr := &pendingReq{remaining: expected, expected: expected, need: need,
+		done: s.env.NewEvent(), status: blockstore.StatusOK}
+	if s.trackAcks {
+		pr.acks = make([]blockstore.Status, 0, expected)
+	}
 	s.pending[s.nextRep] = pr
 	return s.nextRep, pr
 }
 
-// completePending records one reply for a fan-out.
+// completePending records one reply for a fan-out. A reply whose id is
+// unknown — its fan-out already completed (e.g. the write quorum was
+// met without it) or was abandoned by a timed-out attempt — is a stale
+// ack: it is counted and dropped, and can never complete a different
+// (e.g. retried) fan-out, because every attempt registers a fresh id.
 func (s *Server) completePending(repID uint64, st blockstore.Status, payload []byte, size float64, hdr blockstore.Header) {
 	pr, ok := s.pending[repID]
 	if !ok {
-		return // stale (e.g. duplicate ack after failover)
+		s.StaleAcks++
+		return
 	}
-	if st != blockstore.StatusOK {
+	if pr.acks != nil {
+		pr.acks = append(pr.acks, st)
+	}
+	if st == blockstore.StatusOK {
+		pr.need--
+	} else {
 		pr.status = st
 	}
 	if payload != nil || size > 0 {
@@ -532,6 +590,15 @@ func (s *Server) completePending(repID uint64, st blockstore.Status, payload []b
 		pr.hdr = hdr
 	}
 	pr.remaining--
+	if pr.need <= 0 {
+		// Enough OK acks: the fan-out succeeds even if a minority
+		// errored. Unregistering it here is what makes the remaining
+		// stragglers stale.
+		pr.status = blockstore.StatusOK
+		delete(s.pending, repID)
+		pr.done.Trigger(nil)
+		return
+	}
 	if pr.remaining <= 0 {
 		delete(s.pending, repID)
 		pr.done.Trigger(nil)
@@ -559,19 +626,6 @@ func (s *Server) sendMaintenance(hdr blockstore.Header, idx int, size float64) {
 		big := s.sds.HostAlloc(int(total))
 		copy(big.Bytes(), msg)
 		inst.DevMixedSend(s.storagePaths[0][idx], big, int(total), nil, 0)
-	}
-}
-
-// completePendingAll drains a pending entry with no storage attached
-// (degenerate test configurations).
-func (s *Server) completePendingAll(repID uint64) {
-	for {
-		pr, ok := s.pending[repID]
-		if !ok {
-			return
-		}
-		_ = pr
-		s.completePending(repID, blockstore.StatusOK, nil, 0, blockstore.Header{})
 	}
 }
 
@@ -652,15 +706,18 @@ func (s *Server) replicasFor(hdr blockstore.Header) []int {
 		return set
 	}
 	healthy := make([]int, 0, len(set))
+	var srcs, subs []int
 	degraded := false
 	for i, idx := range set {
 		if !s.serverDown[idx] {
 			healthy = append(healthy, idx)
+			srcs = append(srcs, idx)
 			continue
 		}
 		if sub := s.substituteReplica(set); sub >= 0 {
 			set[i] = sub
 			healthy = append(healthy, sub)
+			subs = append(subs, sub)
 		} else {
 			degraded = true
 		}
@@ -672,7 +729,42 @@ func (s *Server) replicasFor(hdr blockstore.Header) []int {
 		s.Unroutable++
 		return nil
 	}
+	// A substitute joins the set empty: copy the chunk's existing blocks
+	// onto it from a surviving original member, or substitution would
+	// silently shrink how many replicas actually hold pre-fail-over
+	// writes (the durability checker counts holders per replica).
+	for _, sub := range subs {
+		s.scheduleBackfill(key, srcs, sub)
+	}
 	return healthy
+}
+
+// scheduleBackfill streams one chunk's snapshot from a surviving
+// replica onto a freshly substituted one. The copy is applied to the
+// destination store up front (the simulated transfer time then charges
+// the port), so blocks written before the fail-over are durable on the
+// substitute immediately; versioned restore makes it safe to race with
+// new writes to the same chunk — a newer append is never clobbered.
+func (s *Server) scheduleBackfill(key chunkKey, srcs []int, dst int) {
+	if len(srcs) == 0 || len(s.storageServers) == 0 ||
+		dst < 0 || dst >= len(s.storageServers) {
+		return
+	}
+	src := srcs[0]
+	s.env.Go("mt.backfill", func(p *sim.Proc) {
+		var buf bytes.Buffer
+		n, err := s.storageServers[src].Store().SnapshotChunk(&buf, key.seg, key.chunk, s.cfg.Level)
+		if err != nil || n == 0 {
+			return
+		}
+		if _, err := s.storageServers[dst].Store().RestoreSnapshot(&buf); err != nil {
+			return
+		}
+		s.BackfillBytes += float64(n)
+		p.Sleep(float64(n) / s.cfg.PortRate)
+		s.cfg.Trace.Emit(p.Now(), "mt", "backfill",
+			fmt.Sprintf("chunk=%d/%d src=%d dst=%d bytes=%d", key.seg, key.chunk, src, dst, n))
+	})
 }
 
 // substituteReplica finds a healthy server outside the given set, or -1
@@ -715,6 +807,19 @@ func (s *Server) readReplicaFor(hdr blockstore.Header) (int, bool) {
 		}
 		return hs[0], true
 	}
+	if s.cfg.Protocol == ProtoChain {
+		// Chain replication serves reads from the tail: the tail only
+		// acked after every predecessor held the write, so its state is
+		// always the committed prefix. Walk backward to the last healthy
+		// member when the tail itself is down.
+		for i := len(set) - 1; i >= 0; i-- {
+			if !s.serverDown[set[i]] {
+				return set[i], true
+			}
+		}
+		s.Unroutable++
+		return 0, false
+	}
 	for i := 0; i < len(set); i++ {
 		idx := set[(s.readRR+i)%len(set)]
 		if !s.serverDown[idx] {
@@ -753,6 +858,7 @@ func (s *Server) SetServerDown(idx int, down bool) {
 // multi-port designs every port gets its own QP set so replication
 // traffic exits the port the request arrived on.
 func (s *Server) ConnectStorage(servers []*storage.Server) {
+	s.storageServers = servers
 	s.numStorage = len(servers)
 	s.serverDown = make([]bool, len(servers))
 	paths := 1
@@ -778,6 +884,67 @@ func (s *Server) ConnectStorage(servers []*storage.Server) {
 			s.storagePaths[pi] = append(s.storagePaths[pi], local)
 		}
 	}
+}
+
+// Protocol returns the active replication protocol.
+func (s *Server) Protocol() Protocol { return s.cfg.Protocol }
+
+// ReplicatorName returns the active protocol's table label.
+func (s *Server) ReplicatorName() string { return s.rep.Name() }
+
+// WriteQuorum is how many replicas out of a set of n must hold an acked
+// write under the active protocol (the durability checker's threshold).
+func (s *Server) WriteQuorum(n int) int { return s.rep.WriteQuorum(n) }
+
+// ReadQuorum is how many replicas out of n a read consults under the
+// active protocol.
+func (s *Server) ReadQuorum(n int) int { return s.rep.ReadQuorum(n) }
+
+// nextWriteVersion hands out the writer-assigned version for one write.
+// It is assigned once per logical write, before the fan-out, so every
+// retry attempt re-sends the same version and the storage-side
+// regression guard treats them as the same write.
+func (s *Server) nextWriteVersion() uint64 {
+	s.nextVer++
+	return s.nextVer
+}
+
+// replicatorHost implementation (replicator.go): the slice of Server a
+// Replicator drives.
+
+func (s *Server) replicaSet(hdr blockstore.Header) []int {
+	// Copy: replicasFor may return the live placement slice, which a
+	// concurrent write's substitution mutates in place. The replicator
+	// compares its attempt set against currentSet to detect exactly that,
+	// so it must hold a stable snapshot.
+	return append([]int(nil), s.replicasFor(hdr)...)
+}
+
+func (s *Server) currentSet(hdr blockstore.Header) []int {
+	set, ok := s.placement[chunkKey{seg: hdr.SegmentID, chunk: hdr.ChunkID}]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), set...)
+}
+
+func (s *Server) begin(expected, need int) (uint64, *pendingReq) {
+	return s.newPendingQuorum(expected, need)
+}
+
+func (s *Server) abandon(repID uint64) { delete(s.pending, repID) }
+
+func (s *Server) noteRetry(frameSize float64, replicas int) {
+	s.ReplicateRetries++
+	s.RetryBytes += frameSize * float64(replicas)
+}
+
+func (s *Server) replicateTimeout() float64 { return s.cfg.ReplicateTimeout }
+
+func (s *Server) replicas() int { return s.cfg.Replicas }
+
+func (s *Server) emit(now float64, event, detail string) {
+	s.cfg.Trace.Emit(now, "mt", event, detail)
 }
 
 // ConnectClient attaches one client (VM storage agent): the returned

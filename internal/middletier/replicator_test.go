@@ -1,0 +1,517 @@
+package middletier
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/sim"
+)
+
+// fakeHost drives a Replicator in isolation: a scripted transport
+// standing in for the Server. Each send is answered by the test's
+// script (immediate acks, delayed acks, or silence), and the pending
+// accounting mirrors Server.completePending so stale-ack semantics
+// match the real host.
+type fakeHost struct {
+	env     *sim.Env
+	sets    [][]int // replicaSet per attempt; last entry repeats
+	calls   int
+	timeout float64
+	nrep    int
+
+	cur     []int // currentSet's answer (nil = placement unknown)
+	pending map[uint64]*pendingReq
+	nextID  uint64
+
+	sends   [][]int  // every send's replica set, in order
+	sendIDs []uint64 // the repID each send carried
+	sendAt  []float64
+	retries int
+	stale   int
+	emits   []string
+
+	// onSend scripts the transport's response to one send.
+	onSend func(f *fakeHost, repID uint64, set []int)
+}
+
+func newFakeHost(env *sim.Env, timeout float64, sets ...[]int) *fakeHost {
+	return &fakeHost{
+		env: env, sets: sets, timeout: timeout, nrep: 3,
+		pending: make(map[uint64]*pendingReq),
+	}
+}
+
+func (f *fakeHost) replicaSet(blockstore.Header) []int {
+	i := f.calls
+	if i >= len(f.sets) {
+		i = len(f.sets) - 1
+	}
+	f.calls++
+	return f.sets[i]
+}
+
+func (f *fakeHost) begin(expected, need int) (uint64, *pendingReq) {
+	f.nextID++
+	pr := &pendingReq{remaining: expected, expected: expected, need: need,
+		done: f.env.NewEvent(), status: blockstore.StatusOK}
+	f.pending[f.nextID] = pr
+	return f.nextID, pr
+}
+
+// cur scripts currentSet; nil means "placement unknown" (no resync).
+func (f *fakeHost) currentSet(blockstore.Header) []int { return f.cur }
+
+func (f *fakeHost) abandon(repID uint64)                      { delete(f.pending, repID) }
+func (f *fakeHost) replicateTimeout() float64                 { return f.timeout }
+func (f *fakeHost) replicas() int                             { return f.nrep }
+func (f *fakeHost) noteRetry(frameSize float64, replicas int) { f.retries++ }
+func (f *fakeHost) emit(now float64, event, detail string) {
+	f.emits = append(f.emits, event+" "+detail)
+}
+
+func (f *fakeHost) send(repID uint64, set []int) {
+	cp := append([]int(nil), set...)
+	f.sends = append(f.sends, cp)
+	f.sendIDs = append(f.sendIDs, repID)
+	f.sendAt = append(f.sendAt, float64(f.env.Now()))
+	if f.onSend != nil {
+		f.onSend(f, repID, cp)
+	}
+}
+
+// ack mirrors Server.completePending's accounting (need countdown,
+// worst-status, stale acks for unknown ids).
+func (f *fakeHost) ack(repID uint64, st blockstore.Status) {
+	pr, ok := f.pending[repID]
+	if !ok {
+		f.stale++
+		return
+	}
+	if st == blockstore.StatusOK {
+		pr.need--
+	} else {
+		pr.status = st
+	}
+	pr.remaining--
+	if pr.need <= 0 {
+		pr.status = blockstore.StatusOK
+		delete(f.pending, repID)
+		pr.done.Trigger(nil)
+		return
+	}
+	if pr.remaining <= 0 {
+		delete(f.pending, repID)
+		pr.done.Trigger(nil)
+	}
+}
+
+// ackAfter schedules an ack d seconds from now.
+func (f *fakeHost) ackAfter(d float64, repID uint64, st blockstore.Status) {
+	f.env.After(d, func() { f.ack(repID, st) })
+}
+
+// runReplicate drives one Replicate call to completion in virtual time.
+func runReplicate(t *testing.T, env *sim.Env, r Replicator, f *fakeHost) (blockstore.Status, int) {
+	t.Helper()
+	var st blockstore.Status
+	var stored int
+	finished := false
+	env.Go("test.replicate", func(p *sim.Proc) {
+		st, stored = r.Replicate(f, p, blockstore.Header{SegmentID: 1, ChunkID: 1}, 4096, f.send)
+		finished = true
+	})
+	env.Run(1)
+	if !finished {
+		t.Fatal("Replicate never returned")
+	}
+	return st, stored
+}
+
+func TestReplicatorQuorumSizes(t *testing.T) {
+	cases := []struct {
+		r         Replicator
+		n, wq, rq int
+	}{
+		{primaryReplicator{}, 3, 3, 1},
+		{chainReplicator{}, 3, 3, 1},
+		{quorumReplicator{}, 3, 2, 2},
+		{quorumReplicator{}, 5, 3, 3},
+		{quorumReplicator{}, 4, 3, 3},
+	}
+	for _, c := range cases {
+		if got := c.r.WriteQuorum(c.n); got != c.wq {
+			t.Errorf("%s.WriteQuorum(%d) = %d, want %d", c.r.Name(), c.n, got, c.wq)
+		}
+		if got := c.r.ReadQuorum(c.n); got != c.rq {
+			t.Errorf("%s.ReadQuorum(%d) = %d, want %d", c.r.Name(), c.n, got, c.rq)
+		}
+		// Every write quorum must intersect every read quorum.
+		if c.r.WriteQuorum(c.n)+c.r.ReadQuorum(c.n) <= c.n {
+			t.Errorf("%s: WQ+RQ = %d does not intersect at n=%d",
+				c.r.Name(), c.r.WriteQuorum(c.n)+c.r.ReadQuorum(c.n), c.n)
+		}
+	}
+}
+
+func TestPrimaryReplicatorAcksWhenAllReply(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 1e-3, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		for range set {
+			f.ackAfter(10e-6, repID, blockstore.StatusOK)
+		}
+	}
+	st, stored := runReplicate(t, env, primaryReplicator{}, f)
+	if st != blockstore.StatusOK || stored != 3 {
+		t.Fatalf("status=%v stored=%d, want OK/3", st, stored)
+	}
+	if len(f.sends) != 1 || f.retries != 0 || f.stale != 0 {
+		t.Fatalf("sends=%v retries=%d stale=%d", f.sends, f.retries, f.stale)
+	}
+}
+
+func TestPrimaryReplicatorWorstStatusWins(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 0, []int{0, 1, 2}) // no timeout: pure fan-in
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		f.ackAfter(10e-6, repID, blockstore.StatusOK)
+		f.ackAfter(20e-6, repID, blockstore.StatusCorrupt)
+		f.ackAfter(30e-6, repID, blockstore.StatusOK)
+	}
+	st, _ := runReplicate(t, env, primaryReplicator{}, f)
+	if st != blockstore.StatusCorrupt {
+		t.Fatalf("status = %v, want Corrupt", st)
+	}
+}
+
+// TestPrimaryReplicatorRetryIgnoresStaleAck pins the stale-ack
+// regression: a replica that was only slow — not dead — acks after the
+// attempt timed out and a retry began under a fresh repID. That
+// straggler must count as stale, never toward the retry's fan-in
+// (double-counting it would ack the client with the frame on fewer
+// replicas than the protocol promised).
+func TestPrimaryReplicatorRetryIgnoresStaleAck(t *testing.T) {
+	env := sim.NewEnv()
+	// Attempt 1 fans out to {0,1,2}: two acks arrive, the third is slow
+	// and lands only after the 1ms timeout fired and attempt 2 (refreshed
+	// set {0,2,3}) is in flight.
+	f := newFakeHost(env, 1e-3, []int{0, 1, 2}, []int{0, 2, 3})
+	attempt := 0
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		attempt++
+		if attempt == 1 {
+			f.ackAfter(10e-6, repID, blockstore.StatusOK)
+			f.ackAfter(20e-6, repID, blockstore.StatusOK)
+			f.ackAfter(1.5e-3, repID, blockstore.StatusOK) // straggler: after timeout+retry
+			return
+		}
+		// The retry completes 100us in — before the straggler arrives, so
+		// a double-count bug would complete the retry one real ack short.
+		for i := range set {
+			f.ackAfter(100e-6+float64(i)*10e-6, repID, blockstore.StatusOK)
+		}
+	}
+	st, stored := runReplicate(t, env, primaryReplicator{}, f)
+	if st != blockstore.StatusOK || stored != 3 {
+		t.Fatalf("status=%v stored=%d, want OK/3", st, stored)
+	}
+	if f.retries != 1 {
+		t.Fatalf("retries = %d, want 1", f.retries)
+	}
+	if len(f.sends) != 2 || f.sendIDs[0] == f.sendIDs[1] {
+		t.Fatalf("want 2 sends under distinct repIDs, got %v ids=%v", f.sends, f.sendIDs)
+	}
+	env.Run(1) // let the straggler land
+	if f.stale != 1 {
+		t.Fatalf("stale acks = %d, want exactly the straggler", f.stale)
+	}
+	if len(f.pending) != 0 {
+		t.Fatalf("pending fan-outs leaked: %d", len(f.pending))
+	}
+}
+
+func TestPrimaryReplicatorUnroutableFails(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 1e-3, []int{})
+	st, stored := runReplicate(t, env, primaryReplicator{}, f)
+	if st != blockstore.StatusError || stored != 0 || len(f.sends) != 0 {
+		t.Fatalf("status=%v stored=%d sends=%v, want immediate error", st, stored, f.sends)
+	}
+}
+
+func TestPrimaryReplicatorExhaustsAttempts(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 100e-6, []int{0, 1, 2}) // nobody ever acks
+	st, _ := runReplicate(t, env, primaryReplicator{}, f)
+	if st != blockstore.StatusError {
+		t.Fatalf("status = %v, want Error after exhausted attempts", st)
+	}
+	if len(f.sends) != maxReplicateAttempts || f.retries != maxReplicateAttempts-1 {
+		t.Fatalf("sends=%d retries=%d, want %d attempts", len(f.sends), f.retries, maxReplicateAttempts)
+	}
+	if len(f.emits) != maxReplicateAttempts {
+		t.Fatalf("emits=%v, want one timeout trace per attempt", f.emits)
+	}
+}
+
+func TestChainReplicatorSequencesHops(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 1e-3, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		f.ackAfter(10e-6, repID, blockstore.StatusOK)
+	}
+	st, stored := runReplicate(t, env, chainReplicator{}, f)
+	if st != blockstore.StatusOK || stored != 3 {
+		t.Fatalf("status=%v stored=%d, want OK/3", st, stored)
+	}
+	if len(f.sends) != 3 {
+		t.Fatalf("sends = %v, want 3 single-replica hops", f.sends)
+	}
+	for i, s := range f.sends {
+		if len(s) != 1 || s[0] != i {
+			t.Fatalf("hop %d sent to %v, want [%d]", i, s, i)
+		}
+		// Each hop departs only after the predecessor acked: 10us apart.
+		if i > 0 && f.sendAt[i] < f.sendAt[i-1]+10e-6 {
+			t.Fatalf("hop %d sent at %g, before predecessor's ack (%g+10us)",
+				i, f.sendAt[i], f.sendAt[i-1])
+		}
+	}
+}
+
+func TestChainReplicatorHopTimeoutRestartsChain(t *testing.T) {
+	env := sim.NewEnv()
+	// Attempt 1: head acks, middle (server 1) is dead. Attempt 2 runs on
+	// the refreshed set {0,3,2} and completes.
+	f := newFakeHost(env, 200e-6, []int{0, 1, 2}, []int{0, 3, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		if set[0] == 1 {
+			return // dead middle hop: silence
+		}
+		f.ackAfter(10e-6, repID, blockstore.StatusOK)
+	}
+	st, stored := runReplicate(t, env, chainReplicator{}, f)
+	if st != blockstore.StatusOK || stored != 3 {
+		t.Fatalf("status=%v stored=%d, want OK/3", st, stored)
+	}
+	if f.retries != 1 {
+		t.Fatalf("retries = %d, want 1 (whole-chain restart)", f.retries)
+	}
+	// 2 hops on attempt 1 (head + dead middle), 3 on attempt 2.
+	if len(f.sends) != 5 {
+		t.Fatalf("sends = %v, want 5 hops total", f.sends)
+	}
+	found := false
+	for _, e := range f.emits {
+		if strings.Contains(e, "protocol=chain") && strings.Contains(e, "hop=2/3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no chain hop-timeout trace in %v", f.emits)
+	}
+}
+
+func TestChainReplicatorPropagatesWorstHopStatus(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 0, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		st := blockstore.StatusOK
+		if set[0] == 1 {
+			st = blockstore.StatusCorrupt
+		}
+		f.ackAfter(10e-6, repID, st)
+	}
+	st, _ := runReplicate(t, env, chainReplicator{}, f)
+	if st != blockstore.StatusCorrupt {
+		t.Fatalf("status = %v, want the middle hop's Corrupt", st)
+	}
+}
+
+func TestQuorumReplicatorAcksAtMajority(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 1e-3, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		f.ackAfter(10e-6, repID, blockstore.StatusOK)
+		f.ackAfter(20e-6, repID, blockstore.StatusOK)
+		f.ackAfter(5e-3, repID, blockstore.StatusOK) // laggard, way past the timeout
+	}
+	st, stored := runReplicate(t, env, quorumReplicator{}, f)
+	if st != blockstore.StatusOK || stored != 3 {
+		t.Fatalf("status=%v stored=%d, want OK at majority", st, stored)
+	}
+	if f.retries != 0 {
+		t.Fatalf("retries = %d: the majority ack must beat the timeout", f.retries)
+	}
+	env.Run(1)
+	if f.stale != 1 {
+		t.Fatalf("stale = %d, want the post-quorum laggard counted stale", f.stale)
+	}
+}
+
+func TestQuorumReplicatorFailsBelowWriteQuorum(t *testing.T) {
+	env := sim.NewEnv()
+	// Two of three replicas crashed with no substitutes: one reachable
+	// member is a minority, so the write must fail without a send.
+	f := newFakeHost(env, 1e-3, []int{4})
+	st, stored := runReplicate(t, env, quorumReplicator{}, f)
+	if st != blockstore.StatusError || stored != 0 {
+		t.Fatalf("status=%v stored=%d, want refusal", st, stored)
+	}
+	if len(f.sends) != 0 {
+		t.Fatalf("sends = %v, want none for a minority set", f.sends)
+	}
+}
+
+func TestQuorumReplicatorMinorityErrorStillOK(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 0, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		f.ackAfter(10e-6, repID, blockstore.StatusOK)
+		f.ackAfter(20e-6, repID, blockstore.StatusError)
+		f.ackAfter(30e-6, repID, blockstore.StatusOK)
+	}
+	st, _ := runReplicate(t, env, quorumReplicator{}, f)
+	if st != blockstore.StatusOK {
+		t.Fatalf("status = %v: a minority error must not fail a quorum write", st)
+	}
+}
+
+func TestQuorumReplicatorMajorityErrorFails(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 0, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		f.ackAfter(10e-6, repID, blockstore.StatusError)
+		f.ackAfter(20e-6, repID, blockstore.StatusError)
+		f.ackAfter(30e-6, repID, blockstore.StatusOK)
+	}
+	st, _ := runReplicate(t, env, quorumReplicator{}, f)
+	if st != blockstore.StatusError {
+		t.Fatalf("status = %v, want Error when the quorum cannot be met", st)
+	}
+}
+
+func TestQuorumReplicatorTimeoutEmitsAckSet(t *testing.T) {
+	env := sim.NewEnv()
+	f := newFakeHost(env, 100e-6, []int{0, 1, 2})
+	f.onSend = func(f *fakeHost, repID uint64, set []int) {
+		f.ackAfter(10e-6, repID, blockstore.StatusOK) // one ack: short of quorum
+	}
+	st, _ := runReplicate(t, env, quorumReplicator{}, f)
+	if st != blockstore.StatusError {
+		t.Fatalf("status = %v, want Error", st)
+	}
+	if len(f.emits) == 0 || !strings.Contains(f.emits[0], "ackset=") {
+		t.Fatalf("timeout trace should carry the encoded ack set: %v", f.emits)
+	}
+}
+
+// TestReplicatorResyncAfterMidFlightSubstitution pins the fail-over
+// race the full fault battery exposed: a write's fan-out is acked by
+// the members it reached, but while it was in flight one member
+// crashed and a concurrent write substituted a fresh replica into the
+// chunk's placement. The backfill snapshot can predate this write's
+// appends, so the all-replica protocols must notice the placement
+// moved and re-send to the current set before acking the client.
+func TestReplicatorResyncAfterMidFlightSubstitution(t *testing.T) {
+	for _, r := range []Replicator{primaryReplicator{}, chainReplicator{}} {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			env := sim.NewEnv()
+			f := newFakeHost(env, 1e-3, []int{0, 1, 2}, []int{0, 3, 2})
+			f.cur = []int{0, 1, 2}
+			f.onSend = func(f *fakeHost, repID uint64, set []int) {
+				f.ackAfter(10e-6, repID, blockstore.StatusOK)
+				if len(set) > 1 {
+					for range set[1:] {
+						f.ackAfter(10e-6, repID, blockstore.StatusOK)
+					}
+				}
+			}
+			// Mid-flight (5us: after the sends, before the acks), server 1
+			// crashes and a concurrent write substitutes server 3.
+			env.After(5e-6, func() { f.cur = []int{0, 3, 2} })
+			st, stored := runReplicate(t, env, r, f)
+			if st != blockstore.StatusOK || stored != 3 {
+				t.Fatalf("status=%v stored=%d, want OK/3", st, stored)
+			}
+			if f.retries != 1 {
+				t.Fatalf("retries = %d, want exactly one resync round", f.retries)
+			}
+			// The resync round must have reached the substitute.
+			sentTo3 := false
+			for _, s := range f.sends {
+				for _, idx := range s {
+					if idx == 3 {
+						sentTo3 = true
+					}
+				}
+			}
+			if !sentTo3 {
+				t.Fatalf("substitute never received the write: sends=%v", f.sends)
+			}
+			found := false
+			for _, e := range f.emits {
+				if strings.Contains(e, "replicate-resync") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no resync trace in %v", f.emits)
+			}
+		})
+	}
+}
+
+// TestReplicasForSubstitutionUnderCrashes exercises degraded-mode
+// substitution through the real Server: with 0, 1, and 2 simultaneous
+// crashes out of 5 servers, a 3-replica placement keeps its surviving
+// members, substitutes healthy servers for the dead, and only counts
+// the write degraded when the set actually shrank.
+func TestReplicasForSubstitutionUnderCrashes(t *testing.T) {
+	for _, crashes := range [][]int{nil, {1}, {1, 3}} {
+		s := newTestServer(t, CPUOnly)
+		s.numStorage = 5
+		s.serverDown = make([]bool, 5)
+		h := blockstore.Header{SegmentID: 7, ChunkID: 3}
+		orig := append([]int(nil), s.replicasFor(h)...) // pins placement
+		if len(orig) != 3 {
+			t.Fatalf("initial placement = %v, want 3 replicas", orig)
+		}
+		for _, idx := range crashes {
+			s.SetServerDown(idx, true)
+		}
+		got := s.replicasFor(h)
+		if len(got) != 3 {
+			t.Fatalf("%d crashes: set = %v, want full substitution from 5 servers", len(crashes), got)
+		}
+		down := map[int]bool{}
+		for _, idx := range crashes {
+			down[idx] = true
+		}
+		for _, idx := range got {
+			if down[idx] {
+				t.Fatalf("%d crashes: down server %d still in set %v", len(crashes), idx, got)
+			}
+		}
+		// Surviving original members keep their slots.
+		for _, o := range orig {
+			if down[o] {
+				continue
+			}
+			found := false
+			for _, g := range got {
+				if g == o {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%d crashes: surviving member %d evicted: %v -> %v", len(crashes), o, orig, got)
+			}
+		}
+		if len(crashes) == 0 && s.Degraded != 0 {
+			t.Fatal("healthy write counted degraded")
+		}
+	}
+}

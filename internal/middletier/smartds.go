@@ -197,21 +197,20 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	tr.End(p.Now(), "mt", "compress", tid)
 
 	tr.Begin(p.Now(), "mt", "replicate", tid)
-	stored := 0
-	status := s.replicateWait(p, req.hdr, payloadSize, func(repID uint64, set []int) {
+	version := s.nextWriteVersion()
+	status, stored := s.replicateWait(p, req.hdr, payloadSize, func(repID uint64, set []int) {
 		rh := blockstore.Header{
 			Op: blockstore.OpReplicate, Flags: flags, ReqID: repID,
 			VMID: req.hdr.VMID, SegmentID: req.hdr.SegmentID,
 			ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
 			OrigLen: uint32(req.size), CRC: req.hdr.CRC,
-			PayloadLen: uint32(payloadSize),
+			PayloadLen: uint32(payloadSize), Version: version,
 		}
 		// A fresh header buffer per attempt: the Assemble module copies
 		// its bytes asynchronously, so a prior attempt's gather may still
 		// be reading the old one.
 		repHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 		copy(repHdr.Bytes(), rh.Encode())
-		stored = len(set)
 		for _, idx := range set {
 			inst.DevMixedSend(s.storagePaths[port][idx], repHdr, blockstore.HeaderSize, payloadBuf, int(payloadSize))
 		}
@@ -249,28 +248,66 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace
 	path := inst.Index()
-	idx, ok := s.readReplicaFor(req.hdr)
-	if !ok {
-		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-		replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
-		copy(replyHdr.Bytes(), reply.Encode())
-		tr.Begin(p.Now(), "net", "reply", tid)
-		inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
-		s.ReadsDone++
-		return
+	var pr *pendingReq
+	if s.cfg.Protocol == ProtoQuorum {
+		tr.Begin(p.Now(), "mt", "fetch", tid)
+		winner, qok := s.quorumFetch(p, req.hdr,
+			func(fh blockstore.Header, idx int) {
+				fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+				copy(fetchHdr.Bytes(), fh.Encode())
+				inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
+			},
+			func(rh blockstore.Header, frame []byte, frameSize float64, idx int) {
+				rh.PayloadLen = uint32(frameSize)
+				repHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+				copy(repHdr.Bytes(), rh.Encode())
+				rbuf, err := s.sds.DevAlloc(maxInt(int(frameSize), 1))
+				if err != nil {
+					panic(err)
+				}
+				if frame != nil {
+					copy(rbuf.Bytes(), frame)
+				}
+				comp := inst.DevMixedSend(s.storagePaths[path][idx], repHdr, blockstore.HeaderSize, rbuf, int(frameSize))
+				comp.Event().OnTrigger(func(interface{}) { rbuf.Free() })
+			})
+		s.nextCore().Work(p, completionCPUTime)
+		tr.End(p.Now(), "mt", "fetch", tid)
+		if !qok {
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+			replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+			copy(replyHdr.Bytes(), reply.Encode())
+			tr.Begin(p.Now(), "net", "reply", tid)
+			inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
+			s.ReadsDone++
+			return
+		}
+		pr = winner
+	} else {
+		idx, ok := s.readReplicaFor(req.hdr)
+		if !ok {
+			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
+			replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+			copy(replyHdr.Bytes(), reply.Encode())
+			tr.Begin(p.Now(), "net", "reply", tid)
+			inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
+			s.ReadsDone++
+			return
+		}
+		repID, spr := s.newPending(1)
+		fh := blockstore.Header{
+			Op: blockstore.OpFetch, ReqID: repID,
+			SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
+		}
+		fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
+		copy(fetchHdr.Bytes(), fh.Encode())
+		tr.Begin(p.Now(), "mt", "fetch", tid)
+		inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
+		p.Wait(spr.done)
+		s.nextCore().Work(p, completionCPUTime)
+		tr.End(p.Now(), "mt", "fetch", tid)
+		pr = spr
 	}
-	repID, pr := s.newPending(1)
-	fh := blockstore.Header{
-		Op: blockstore.OpFetch, ReqID: repID,
-		SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
-	}
-	fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
-	copy(fetchHdr.Bytes(), fh.Encode())
-	tr.Begin(p.Now(), "mt", "fetch", tid)
-	inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
-	p.Wait(pr.done)
-	s.nextCore().Work(p, completionCPUTime)
-	tr.End(p.Now(), "mt", "fetch", tid)
 
 	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
 	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
@@ -394,7 +431,9 @@ func (s *Server) postAckDesc(inst *core.Instance, qp *rdma.QP, hbuf *core.HostBu
 				pr.release = func() { s.postAckDesc(inst, qp, hbuf, dbuf) }
 				s.completePending(h.ReqID, h.Status, payload, float64(res.Size), h)
 			} else {
-				// Stale fetch reply: repost immediately.
+				// Stale fetch reply (its read already timed out and moved
+				// on): count it like any other stale ack, repost immediately.
+				s.StaleAcks++
 				s.postAckDesc(inst, qp, hbuf, dbuf)
 			}
 		default:

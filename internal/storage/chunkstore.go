@@ -28,8 +28,16 @@ type Record struct {
 	Data     []byte
 	SizeHint uint32
 	Flags    uint8 // blockstore header flags at write time (compressed?)
-	Version  uint64
-	live     bool
+	// Version is this store's own append sequence (local arrival order,
+	// not writer order).
+	Version uint64
+	// WriteVersion is the middle tier's writer-assigned version carried
+	// by the replicate header: it totally orders writes to a block
+	// across replicas, so quorum reads rank replicas by it and the
+	// versioned appends refuse regressions. Zero means unversioned
+	// (legacy or maintenance traffic).
+	WriteVersion uint64
+	live         bool
 }
 
 // ChunkStore is the per-server append-only store (paper §2.2.1:
@@ -57,8 +65,22 @@ func (s *ChunkStore) Append(key BlockKey, data []byte) *Record {
 // AppendFlagged is Append carrying the write's header flags, so reads
 // can tell compressed frames from raw (latency-sensitive) blocks.
 func (s *ChunkStore) AppendFlagged(key BlockKey, data []byte, flags uint8) *Record {
+	return s.AppendVersioned(key, data, flags, 0)
+}
+
+// AppendVersioned is AppendFlagged carrying the writer-assigned
+// version. A versioned append (version > 0) is refused — returning the
+// standing record — when the block's current record already holds an
+// equal or newer writer version: a stale read-repair, backfill, or
+// duplicate retry must never clobber a newer write. Unversioned
+// appends always land (legacy behavior).
+func (s *ChunkStore) AppendVersioned(key BlockKey, data []byte, flags uint8, version uint64) *Record {
+	if old, ok := s.index[key]; ok && version > 0 && old.WriteVersion >= version {
+		return old
+	}
 	s.version++
-	rec := &Record{Key: key, Data: append([]byte(nil), data...), SizeHint: uint32(len(data)), Flags: flags, Version: s.version, live: true}
+	rec := &Record{Key: key, Data: append([]byte(nil), data...), SizeHint: uint32(len(data)),
+		Flags: flags, Version: s.version, WriteVersion: version, live: true}
 	if old, ok := s.index[key]; ok {
 		old.live = false
 		s.liveBytes -= int64(len(old.Data))
@@ -72,8 +94,17 @@ func (s *ChunkStore) AppendFlagged(key BlockKey, data []byte, flags uint8) *Reco
 
 // AppendModeled stores a sizes-only record (modeled payload runs).
 func (s *ChunkStore) AppendModeled(key BlockKey, size uint32, flags uint8) *Record {
+	return s.AppendModeledVersioned(key, size, flags, 0)
+}
+
+// AppendModeledVersioned is AppendModeled with the same regression
+// guard as AppendVersioned.
+func (s *ChunkStore) AppendModeledVersioned(key BlockKey, size uint32, flags uint8, version uint64) *Record {
+	if old, ok := s.index[key]; ok && version > 0 && old.WriteVersion >= version {
+		return old
+	}
 	s.version++
-	rec := &Record{Key: key, SizeHint: size, Flags: flags, Version: s.version, live: true}
+	rec := &Record{Key: key, SizeHint: size, Flags: flags, Version: s.version, WriteVersion: version, live: true}
 	if old, ok := s.index[key]; ok {
 		old.live = false
 		s.liveBytes -= int64(len(old.Data))

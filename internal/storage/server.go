@@ -190,7 +190,7 @@ func (s *Server) serve(qp *rdma.QP, m *rdma.Message) {
 			s.Writes++
 			s.diskWrite(p, float64(h.PayloadLen))
 			key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
-			s.store.AppendModeled(key, h.PayloadLen, h.Flags)
+			s.store.AppendModeledVersioned(key, h.PayloadLen, h.Flags, h.Version)
 			reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: blockstore.StatusOK}
 			p.Wait(qp.Send(reply.Encode()))
 			return
@@ -215,7 +215,10 @@ func (s *Server) serve(qp *rdma.QP, m *rdma.Message) {
 func (s *Server) serveWrite(p *sim.Proc, qp *rdma.QP, h blockstore.Header, payload []byte) {
 	s.Writes++
 	status := blockstore.StatusOK
-	if s.Verify && h.Flags&blockstore.FlagCompressed != 0 {
+	// CRC==0 means the sender had no checksum to offer (read-repair and
+	// other middle-tier-internal traffic): integrity is then enforced by
+	// the version guard, not a CRC it never carried.
+	if s.Verify && h.Flags&blockstore.FlagCompressed != 0 && h.CRC != 0 {
 		if orig, err := lz4.DecodeFrame(payload); err != nil || lz4.Checksum(orig) != h.CRC {
 			status = blockstore.StatusCorrupt
 		}
@@ -223,7 +226,7 @@ func (s *Server) serveWrite(p *sim.Proc, qp *rdma.QP, h blockstore.Header, paylo
 	if status == blockstore.StatusOK {
 		key := BlockKey{SegmentID: h.SegmentID, ChunkID: h.ChunkID, BlockOff: h.BlockOff}
 		s.diskWrite(p, float64(len(payload)))
-		s.store.AppendFlagged(key, payload, h.Flags)
+		s.store.AppendVersioned(key, payload, h.Flags, h.Version)
 	}
 	reply := blockstore.Header{Op: blockstore.OpReplicateReply, ReqID: h.ReqID, Status: status}
 	p.Wait(qp.Send(reply.Encode()))
@@ -240,10 +243,11 @@ func (s *Server) serveRead(p *sim.Proc, qp *rdma.QP, h blockstore.Header) {
 	}
 	s.diskRead(p, float64(rec.SizeHint))
 	reply := blockstore.Header{
-		Op:     blockstore.OpFetchReply,
-		ReqID:  h.ReqID,
-		Status: blockstore.StatusOK,
-		Flags:  rec.Flags,
+		Op:      blockstore.OpFetchReply,
+		ReqID:   h.ReqID,
+		Status:  blockstore.StatusOK,
+		Flags:   rec.Flags,
+		Version: rec.WriteVersion,
 	}
 	if rec.Data == nil {
 		// Modeled record: header-only reply with the modeled frame size.

@@ -17,9 +17,13 @@ import (
 // Record layout inside the stream (little endian):
 //
 //	u64 segmentID, u32 chunkID, u32 blockOff,
-//	u8 flags, u32 payloadLen, payload bytes
+//	u8 flags, u32 payloadLen, u64 writeVersion, payload bytes
 // A payloadLen of 0xFFFFFFFF marks a modeled (sizes-only) record and is
-// followed by u32 sizeHint instead of payload bytes.
+// followed by u32 sizeHint instead of payload bytes. writeVersion is
+// the writer-assigned block version; restores route through the
+// versioned appends so replaying a snapshot over a store that already
+// holds newer writes (replica backfill racing live traffic) never
+// regresses a block.
 
 const modeledMark = ^uint32(0)
 
@@ -62,11 +66,12 @@ func (s *ChunkStore) Snapshot(w io.Writer, level lz4.Level) (int, error) {
 }
 
 func writeSnapshotRecord(w io.Writer, rec *Record) error {
-	var hdr [21]byte
+	var hdr [29]byte
 	binary.LittleEndian.PutUint64(hdr[0:], rec.Key.SegmentID)
 	binary.LittleEndian.PutUint32(hdr[8:], rec.Key.ChunkID)
 	binary.LittleEndian.PutUint32(hdr[12:], rec.Key.BlockOff)
 	hdr[16] = rec.Flags
+	binary.LittleEndian.PutUint64(hdr[21:], rec.WriteVersion)
 	if rec.Data == nil {
 		binary.LittleEndian.PutUint32(hdr[17:], modeledMark)
 		if _, err := w.Write(hdr[:]); err != nil {
@@ -92,7 +97,7 @@ func (s *ChunkStore) RestoreSnapshot(r io.Reader) (int, error) {
 	sr := lz4.NewReader(r)
 	count := 0
 	for {
-		var hdr [21]byte
+		var hdr [29]byte
 		if _, err := io.ReadFull(sr, hdr[:]); err != nil {
 			if err == io.EOF {
 				return count, nil
@@ -106,12 +111,13 @@ func (s *ChunkStore) RestoreSnapshot(r io.Reader) (int, error) {
 		}
 		flags := hdr[16]
 		plen := binary.LittleEndian.Uint32(hdr[17:])
+		version := binary.LittleEndian.Uint64(hdr[21:])
 		if plen == modeledMark {
 			var sz [4]byte
 			if _, err := io.ReadFull(sr, sz[:]); err != nil {
 				return count, fmt.Errorf("storage: snapshot modeled record: %w", err)
 			}
-			s.AppendModeled(key, binary.LittleEndian.Uint32(sz[:]), flags)
+			s.AppendModeledVersioned(key, binary.LittleEndian.Uint32(sz[:]), flags, version)
 		} else {
 			if plen > 64<<20 {
 				return count, fmt.Errorf("storage: snapshot record of %d bytes is implausible", plen)
@@ -120,7 +126,7 @@ func (s *ChunkStore) RestoreSnapshot(r io.Reader) (int, error) {
 			if _, err := io.ReadFull(sr, payload); err != nil {
 				return count, fmt.Errorf("storage: snapshot record payload: %w", err)
 			}
-			s.AppendFlagged(key, payload, flags)
+			s.AppendVersioned(key, payload, flags, version)
 		}
 		count++
 	}

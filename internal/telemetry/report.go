@@ -55,6 +55,7 @@ type FaultSummary struct {
 type RunRecord struct {
 	Experiment string `json:"experiment"`
 	Design     string `json:"design"`
+	Protocol   string `json:"protocol,omitempty"`
 	Seq        int    `json:"seq"`
 	Seed       uint64 `json:"seed"`
 
@@ -114,6 +115,19 @@ func (r *Registry) NewRun(experiment, design string, seed uint64) *RunScope {
 
 // Record returns the scope's run record.
 func (sc *RunScope) Record() *RunRecord { return sc.rec }
+
+// SetProtocol stamps the run with the replication protocol it used:
+// the record carries it for report readers, and every instrument
+// registered afterwards gains a "protocol" label so per-protocol runs
+// of the same experiment/design stay distinguishable in metric dumps.
+// Call before registering instruments.
+func (sc *RunScope) SetProtocol(p string) {
+	if p == "" {
+		return
+	}
+	sc.rec.Protocol = p
+	sc.labels = sc.mergeLabels(map[string]string{"protocol": p})
+}
 
 // scoped merges extra dimensions into the scope labels and remembers
 // the metric plus its short (scope-independent) counter key.
