@@ -15,6 +15,13 @@
 //	-series-csv series.csv   # sampled time series, long-form CSV
 //	-series-json series.json # sampled time series with digests, JSON
 //
+// Observability (shared with smartds-sim via internal/cliflags):
+//
+//	-trace-sample 0.01       # head-sample 1% of trace spans (tail kept)
+//	-slo "avail:99.9;ttr:10ms"  # burn-rate alerts into the report
+//	-log-level info          # structured sim-time event log on stderr
+//	-label-budget 64         # fold excess label sets into overflow series
+//
 // Profiling: -cpuprofile / -memprofile write pprof files covering the
 // experiment execution.
 package main
@@ -30,28 +37,19 @@ import (
 	"strings"
 	"time"
 
+	"github.com/disagg/smartds/internal/cliflags"
 	"github.com/disagg/smartds/internal/experiments"
-	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/telemetry"
-	"github.com/disagg/smartds/internal/trace"
 )
 
 // csvOut switches table rendering to CSV.
 var csvOut bool
 
 func main() {
+	common := cliflags.Register(flag.CommandLine)
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	quick := flag.Bool("quick", false, "shrink windows and use modeled payloads")
-	seed := flag.Uint64("seed", 42, "root random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file covering every cluster run")
-	breakdown := flag.Bool("breakdown", false, "append per-stage latency breakdown tables (fig7, ext-reads)")
-	faultSpec := flag.String("faults", "", "ext-faults campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
-	replication := flag.String("replication", "primary", "replication protocol for every cluster: primary, chain, or quorum")
-	reportFile := flag.String("report", "", "write the machine-readable run report (JSON) to this file")
-	metricsFile := flag.String("metrics", "", "write an OpenMetrics snapshot to this file")
-	seriesCSV := flag.String("series-csv", "", "write sampled time series as CSV to this file")
-	seriesJSON := flag.String("series-json", "", "write sampled time series as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.BoolVar(&csvOut, "csv", false, "emit tables as CSV")
@@ -78,18 +76,29 @@ func main() {
 		}()
 	}
 
-	proto, err := middletier.ParseProtocol(*replication)
+	proto, err := common.Protocol()
 	if err != nil {
 		fatal(err)
 	}
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Breakdown: *breakdown,
-		FaultSpec: *faultSpec, Replication: proto}
-	if *traceFile != "" {
-		opt.Trace = trace.New(1 << 18)
+	specs, err := common.SLO()
+	if err != nil {
+		fatal(err)
 	}
-	telemetryOn := *reportFile != "" || *metricsFile != "" || *seriesCSV != "" || *seriesJSON != ""
-	if telemetryOn {
-		opt.Telemetry = telemetry.NewRegistry()
+	opt := experiments.Options{Quick: *quick, Seed: common.Seed, Breakdown: common.Breakdown,
+		FaultSpec: common.FaultSpec, Replication: proto, SLO: specs}
+	opt.Trace = common.NewTracer(false)
+	opt.Telemetry = common.NewRegistry()
+	// The event-log clock must follow whichever cluster is currently
+	// running; experiments swap the active env in as they build them.
+	var clock func() float64
+	opt.Log = common.NewLogger(os.Stderr, func() float64 {
+		if clock == nil {
+			return 0
+		}
+		return clock()
+	})
+	if opt.Log != nil {
+		opt.OnCluster = func(now func() float64) { clock = now }
 	}
 	start := time.Now()
 	var ms0 runtime.MemStats
@@ -106,19 +115,21 @@ func main() {
 	wall := time.Since(start).Seconds()
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
-	if *traceFile != "" {
-		if err := writeFile(*traceFile, opt.Trace.WriteChromeTrace); err != nil {
+	if common.TraceFile != "" {
+		if err := writeFile(common.TraceFile, opt.Trace.WriteChromeTrace); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", common.TraceFile)
 	}
-	if *reportFile != "" {
-		rep := opt.Telemetry.BuildReport(*exp, *seed, *quick, map[string]string{
-			"exp":         *exp,
-			"quick":       strconv.FormatBool(*quick),
-			"breakdown":   strconv.FormatBool(*breakdown),
-			"faults":      *faultSpec,
-			"replication": proto.String(),
+	if common.ReportFile != "" {
+		rep := opt.Telemetry.BuildReport(*exp, common.Seed, *quick, map[string]string{
+			"exp":          *exp,
+			"quick":        strconv.FormatBool(*quick),
+			"breakdown":    strconv.FormatBool(common.Breakdown),
+			"faults":       common.FaultSpec,
+			"replication":  proto.String(),
+			"slo":          common.SLOSpec,
+			"trace_sample": strconv.FormatFloat(common.TraceSample, 'g', -1, 64),
 		})
 		// SimPerf is wall-clock (non-deterministic), so it is attached
 		// here — after BuildReport — and never inside the registry, which
@@ -139,30 +150,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sim perf: %d events in %.2fs = %.0f events/sec, %.2f allocs/event\n",
 				events, wall, rep.SimPerf.EventsPerSec, rep.SimPerf.AllocsPerEvent)
 		}
-		if err := writeFile(*reportFile, func(w io.Writer) error {
+		if err := writeFile(common.ReportFile, func(w io.Writer) error {
 			return telemetry.WriteReport(w, rep)
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportFile)
+		fmt.Fprintf(os.Stderr, "run report written to %s\n", common.ReportFile)
 	}
-	if *metricsFile != "" {
-		if err := writeFile(*metricsFile, opt.Telemetry.WriteOpenMetrics); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "OpenMetrics snapshot written to %s\n", *metricsFile)
-	}
-	if *seriesCSV != "" {
-		if err := writeFile(*seriesCSV, opt.Telemetry.WriteSeriesCSV); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "time series (CSV) written to %s\n", *seriesCSV)
-	}
-	if *seriesJSON != "" {
-		if err := writeFile(*seriesJSON, opt.Telemetry.WriteSeriesJSON); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "time series (JSON) written to %s\n", *seriesJSON)
+	if err := common.WriteArtifacts(opt.Telemetry, writeFile); err != nil {
+		fatal(err)
 	}
 	if *memProfile != "" {
 		runtime.GC()

@@ -10,6 +10,7 @@
 //	smartds-report -baseline baseline.json current.json
 //	smartds-report -max-tput-drop 0.10 -max-p999-inflate 0.50 base.json cur.json
 //	smartds-report -show report.json   # print one report's runs, no gate
+//	smartds-report -slo report.json    # fail if any run fired an SLO alert
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 func main() {
 	baseline := flag.String("baseline", "", "baseline report path (alternative to the first positional argument)")
 	show := flag.Bool("show", false, "print a single report's runs without comparing")
+	sloGate := flag.Bool("slo", false, "SLO gate: print a single report's fired alerts and exit non-zero when any run fired one")
 	g := telemetry.DefaultGate()
 	flag.Float64Var(&g.MaxThroughputDrop, "max-tput-drop", g.MaxThroughputDrop,
 		"fail when throughput falls below baseline*(1-frac)")
@@ -39,6 +41,17 @@ func main() {
 	g.MinRequests = *minReq
 
 	args := flag.Args()
+	if *sloGate {
+		if len(args) != 1 {
+			usage("-slo takes exactly one report path")
+		}
+		rep, err := telemetry.LoadReport(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		sloExit(rep)
+		return
+	}
 	if *show {
 		if len(args) != 1 {
 			usage("-show takes exactly one report path")
@@ -87,6 +100,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "regression gate passed: %d runs within thresholds\n", len(deltas))
+}
+
+// sloExit prints every fired SLO alert and exits non-zero when any run
+// fired one — the CI gate that turns a burn-rate page into a red build.
+func sloExit(rep *telemetry.Report) {
+	fired := 0
+	tbl := metrics.NewTable(fmt.Sprintf("SLO alerts in %q (seed %d)", rep.Name, rep.Seed),
+		"run", "slo", "kind", "severity", "at", "detail")
+	for _, rr := range rep.Runs {
+		for _, al := range rr.Alerts {
+			fired++
+			tbl.AddRow(rr.Key(), al.SLO, al.Kind, al.Severity,
+				metrics.FormatDuration(al.At), al.Detail)
+		}
+	}
+	if fired == 0 {
+		fmt.Fprintf(os.Stderr, "SLO gate passed: no alerts fired across %d runs\n", len(rep.Runs))
+		return
+	}
+	fmt.Println(tbl.String())
+	fmt.Fprintf(os.Stderr, "SLO gate FAILED: %d alerts fired\n", fired)
+	os.Exit(1)
 }
 
 // printReport renders one report's run records as a table.

@@ -6,18 +6,25 @@
 //	smartds-sim -kind smartds -ports 2 -workers 4 -window 128 -measure 50ms
 //	smartds-sim -kind cpu -workers 48 -reads 0.2 -open-rate 1e6
 //	smartds-sim -config examples/scenarios/smartds-mixed.json
+//
+// The observability flags (-trace, -trace-sample, -slo, -log-level,
+// -report, -metrics, -series-*, -label-budget) are shared with
+// smartds-bench via internal/cliflags and behave identically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"github.com/disagg/smartds/internal/cliflags"
 	"github.com/disagg/smartds/internal/cluster"
 	"github.com/disagg/smartds/internal/faults"
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
 )
 
@@ -25,18 +32,15 @@ import (
 func runScenario(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	sc, err := cluster.ParseScenario(data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	cfg, err := sc.ClusterConfig()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	c := cluster.New(cfg)
 	if sc.Maintenance {
@@ -51,6 +55,7 @@ func runScenario(path string) {
 }
 
 func main() {
+	common := cliflags.Register(flag.CommandLine)
 	kindFlag := flag.String("kind", "smartds", "middle-tier design: cpu | acc | bf2 | smartds")
 	ports := flag.Int("ports", 1, "SmartDS ports")
 	workers := flag.Int("workers", 2, "host CPU cores serving I/O")
@@ -62,15 +67,10 @@ func main() {
 	clients := flag.Int("clients", 1, "compute clients")
 	warmup := flag.Duration("warmup", 5*time.Millisecond, "virtual warmup")
 	measure := flag.Duration("measure", 30*time.Millisecond, "virtual measurement window")
-	seed := flag.Uint64("seed", 42, "root seed")
 	modeled := flag.Bool("modeled", false, "model payload sizes instead of moving real blocks")
 	ddioOff := flag.Bool("no-ddio", false, "disable DDIO (Acc baseline)")
 	maintenance := flag.Bool("maintenance", false, "run background maintenance services")
 	configPath := flag.String("config", "", "JSON scenario file (overrides the other flags)")
-	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
-	breakdown := flag.Bool("breakdown", false, "print per-stage latency attribution tables")
-	faultSpec := flag.String("faults", "", "fault campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
-	replication := flag.String("replication", "primary", "replication protocol: primary | chain | quorum")
 
 	flag.Parse()
 
@@ -94,14 +94,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	proto, err := middletier.ParseProtocol(*replication)
+	proto, err := common.Protocol()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
+	}
+	specs, err := common.SLO()
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := cluster.DefaultConfig(kind)
-	cfg.Seed = *seed
+	cfg.Seed = common.Seed
 	cfg.Functional = !*modeled
 	cfg.MT.Protocol = proto
 	cfg.NumStorage = *storageN
@@ -109,22 +112,24 @@ func main() {
 	cfg.MT.Workers = *workers
 	cfg.MT.Ports = *ports
 	cfg.MT.DDIO = !*ddioOff
+	cfg.SLO = specs
 	if kind != middletier.SmartDS && kind != middletier.BF2 {
 		cfg.MT.Ports = 1
 	}
 
-	var tracer *trace.Tracer
-	if *traceFile != "" || *breakdown {
-		tracer = trace.New(1 << 18)
-		cfg.Trace = tracer
-	}
+	tracer := common.NewTracer(common.Breakdown)
+	cfg.Trace = tracer
+	reg := common.NewRegistry()
+	cfg.Telemetry = reg
+	cfg.TelemetryExp = "sim"
+	var c *cluster.Cluster
+	cfg.Log = common.NewLogger(os.Stderr, func() float64 { return c.Env.Now() })
 	var sched *faults.Schedule
-	if *faultSpec != "" {
+	if common.FaultSpec != "" {
 		var err error
-		sched, err = faults.Parse(*faultSpec)
+		sched, err = faults.Parse(common.FaultSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		// Bounded replication fan-outs so a crashed replica cannot
 		// strand client window slots (see middletier.ReplicateTimeout).
@@ -132,7 +137,7 @@ func main() {
 			cfg.MT.ReplicateTimeout = 1.5e-3
 		}
 	}
-	c := cluster.New(cfg)
+	c = cluster.New(cfg)
 	if *maintenance {
 		m := c.MT.StartMaintenance(middletier.MaintenanceConfig{}, c.Storage)
 		defer m.Stop()
@@ -142,8 +147,7 @@ func main() {
 		var err error
 		inj, err = c.ApplyFaults(sched)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 	}
 
@@ -171,7 +175,14 @@ func main() {
 			}
 		}
 	}
-	if *breakdown {
+	if len(res.Alerts) > 0 {
+		tbl := metrics.NewTable("SLO alerts", "slo", "kind", "at", "detail")
+		for _, al := range res.Alerts {
+			tbl.AddRow(al.SLO, al.Kind, metrics.FormatDuration(al.At), al.Detail)
+		}
+		fmt.Println(tbl.String())
+	}
+	if common.Breakdown {
 		spanTbl := metrics.NewTable("request spans", "span", "count", "mean", "p99", "max")
 		for _, s := range tracer.Spans() {
 			spanTbl.AddRow(s.Label, s.Count, metrics.FormatDuration(s.Mean),
@@ -189,12 +200,31 @@ func main() {
 				" an exact per-op reconciliation")
 		}
 	}
-	if *traceFile != "" {
-		if err := writeTrace(tracer, *traceFile); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	if common.TraceFile != "" {
+		if err := writeTrace(tracer, common.TraceFile); err != nil {
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (%d span leaks)\n", *traceFile, tracer.Leaked())
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d span leaks)\n", common.TraceFile, tracer.Leaked())
+	}
+	if reg != nil {
+		if common.ReportFile != "" {
+			rep := reg.BuildReport("sim", common.Seed, *modeled, map[string]string{
+				"kind":         *kindFlag,
+				"faults":       common.FaultSpec,
+				"replication":  proto.String(),
+				"slo":          common.SLOSpec,
+				"trace_sample": fmt.Sprintf("%g", common.TraceSample),
+			})
+			if err := writeFile(common.ReportFile, func(w io.Writer) error {
+				return telemetry.WriteReport(w, rep)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", common.ReportFile)
+		}
+		if err := common.WriteArtifacts(reg, writeFile); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wall time: %s\n", time.Since(start).Round(time.Millisecond))
 
@@ -210,6 +240,24 @@ func main() {
 	if res.Errors > 0 || res.VerifyMismatches > 0 {
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTrace exports the tracer as a Chrome trace-event JSON file.

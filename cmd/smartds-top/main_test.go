@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/metrics"
+	"github.com/disagg/smartds/internal/telemetry"
+)
+
+// writeFixture builds a small report through the real telemetry
+// pipeline plus a hand-written series file matching the
+// WriteSeriesJSON layout, so the test exercises the same artifact
+// shapes the binaries produce.
+func writeFixture(t *testing.T, dir string) (reportPath, seriesPath string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	sc := reg.NewRun("top-test", "SmartDS-1", 42)
+	sc.CounterFunc("smartds_demo_total", "Demo counter.", nil, func() float64 { return 7 })
+	sc.RecordResults(8e-3, 1000, 0, 5e9, 125000, metrics.Summary{
+		Count: 1000, Mean: 40e-6, P50: 35e-6, P99: 60e-6, P999: 2e-3, Max: 3e-3,
+	})
+	sc.RecordAlerts([]telemetry.Alert{{
+		SLO: "ttr:1ms", Kind: "ttr", Severity: "page", At: 9e-3,
+		BurnShort: 2, BurnLong: 2, Detail: "restart:mt ttr 2ms over ceiling 1ms",
+	}})
+
+	reportPath = filepath.Join(dir, "report.json")
+	seriesPath = filepath.Join(dir, "series.json")
+	rep := reg.BuildReport("top-test", 42, true, nil)
+	f, err := os.Create(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteReport(f, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	series := `[
+ {
+  "name": "smartds_demo_total",
+  "labels": {"design": "SmartDS-1", "exp": "top-test"},
+  "digest": {"points": 5, "first": 0, "last": 4, "min": 0, "max": 4, "mean": 2},
+  "points": [
+   {"t": 0.0001, "v": 0}, {"t": 0.0002, "v": 1}, {"t": 0.0003, "v": 2},
+   {"t": 0.0004, "v": 3}, {"t": 0.0005, "v": 4}
+  ]
+ }
+]
+`
+	if err := os.WriteFile(seriesPath, []byte(series), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return reportPath, seriesPath
+}
+
+// TestTopSnapshotDeterministic pins that two renders of the same
+// artifacts are byte-identical (the CI snapshot contract) and carry
+// the runs, alerts, and sparkline sections.
+func TestTopSnapshotDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	reportPath, seriesPath := writeFixture(t, dir)
+
+	snap := func() string {
+		var b strings.Builder
+		if err := render(&b, reportPath, seriesPath, 8); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := snap(), snap()
+	if a != b {
+		t.Fatalf("same artifacts rendered different bytes:\n%q\n%q", a, b)
+	}
+	for _, want := range []string{
+		"top-test/SmartDS-1#0",
+		"ttr:1ms",
+		"restart:mt ttr 2ms over ceiling 1ms",
+		"smartds_demo_total",
+		"▁", // sparkline engaged
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestTopNoAlertsNoSeries covers the clean-run rendering: an explicit
+// "none fired" alert section and digest-only rows without sparklines.
+func TestTopNoAlertsNoSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := reg.NewRun("clean", "CPU-only", 1)
+	sc.RecordResults(1e-3, 10, 0, 1e9, 10000, metrics.Summary{Count: 10})
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	f, err := os.Create(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteReport(f, reg.BuildReport("clean", 1, true, nil)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var b strings.Builder
+	if err := render(&b, reportPath, "", 4); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SLO alerts: none fired") {
+		t.Errorf("clean run should say no alerts fired:\n%s", out)
+	}
+}
+
+// TestSparkline pins the bar scaling and downsampling behavior.
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "-" {
+		t.Fatalf("empty sparkline %q, want -", got)
+	}
+	pts := []telemetry.Point{{At: 0, Value: 0}, {At: 1, Value: 1}, {At: 2, Value: 2}}
+	if got := sparkline(pts, 10); got != "▁▄█" {
+		t.Fatalf("ramp sparkline %q, want ▁▄█", got)
+	}
+	// Constant series renders all-low, not NaN garbage.
+	flat := []telemetry.Point{{Value: 5}, {Value: 5}, {Value: 5}}
+	if got := sparkline(flat, 10); got != "▁▁▁" {
+		t.Fatalf("flat sparkline %q", got)
+	}
+	// Downsampling keeps the most recent point.
+	var long []telemetry.Point
+	for i := 0; i < 100; i++ {
+		long = append(long, telemetry.Point{At: float64(i), Value: float64(i)})
+	}
+	got := sparkline(long, 10)
+	if len([]rune(got)) > 10 || !strings.HasSuffix(got, "█") {
+		t.Fatalf("downsampled sparkline %q should end at the max", got)
+	}
+}

@@ -21,6 +21,10 @@ func TestMultichecker(t *testing.T) {
 		{"maps/maps.go", "maporder", "append inside map iteration builds a slice in map order"},
 		{"spawn/spawn.go", "simspawn", "bare go statement races the cooperative scheduler"},
 		{"floats/floats.go", "floatacc", "floating-point == comparison"},
+		// The observability-layer shapes: a logger formatting a label map
+		// into the line buffer, and an SLO alert stamped off the host clock.
+		{"evlogger/evlogger.go", "maporder", "call to ordered sink WriteString inside map iteration"},
+		{"sloalerts/sloalerts.go", "wallclock", "wall-clock time.Now in simulation code"},
 	}
 	for _, w := range wants {
 		found := false

@@ -1,0 +1,18 @@
+// Package sloalerts violates the wallclock invariant the way a naive
+// SLO engine would: stamping a fired alert with the host clock instead
+// of virtual sim time makes alert artifacts differ run to run (the
+// real internal/slo stamps alerts with Env.Now()).
+package sloalerts
+
+import "time"
+
+// Alert is a fired burn-rate alert.
+type Alert struct {
+	SLO string
+	At  int64
+}
+
+// Fire stamps a new alert with the host clock.
+func Fire(slo string) Alert {
+	return Alert{SLO: slo, At: time.Now().UnixNano()}
+}

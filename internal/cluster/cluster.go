@@ -10,6 +10,7 @@ import (
 
 	"github.com/disagg/smartds/internal/blockstore"
 	"github.com/disagg/smartds/internal/corpus"
+	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/faults"
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/metrics"
@@ -18,6 +19,7 @@ import (
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/rng"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/slo"
 	"github.com/disagg/smartds/internal/storage"
 	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
@@ -47,6 +49,14 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// TelemetryExp labels the run records with the owning experiment.
 	TelemetryExp string
+	// SLO, when non-empty, attaches a burn-rate engine to every Run:
+	// completions stream into multi-window burn-rate evaluation on the
+	// 100 µs grid and fault recoveries are checked against TTR ceilings.
+	// Fired alerts land in Results.Alerts and the telemetry run record.
+	SLO []slo.Spec
+	// Log, when set, receives structured sim-time events from every
+	// layer (cluster runs, middle-tier rebuilds, fault transitions).
+	Log *evlog.Logger
 }
 
 // DefaultConfig wires the paper's testbed: one middle-tier server,
@@ -111,6 +121,7 @@ func New(cfg Config) *Cluster {
 	// assemble, engine occupancy, transport sends, and disk IOs.
 	cfg.MT.Trace = cfg.Trace
 	cfg.MT.Transport.Trace = cfg.Trace
+	cfg.MT.Log = cfg.Log.With("mt")
 
 	c.MT = middletier.New(env, fabric, cfg.MT)
 	for i := 0; i < cfg.NumStorage; i++ {
@@ -140,6 +151,7 @@ func New(cfg Config) *Cluster {
 type Client struct {
 	c     *Cluster
 	id    int
+	comp  string // span component, precomputed so the hot path never allocates it
 	stack *rdma.Stack
 	qp    *rdma.QP
 	rng   *rng.Source
@@ -160,7 +172,13 @@ type Client struct {
 	// completionHook, when set, observes every completion as
 	// (virtual time, latency, errored) — the fault monitor's feed.
 	completionHook func(at, lat float64, err bool)
-	nextLBA        uint64
+	// sloHook feeds the same stream into the run's burn-rate engine
+	// (reset by each Run so engines never stack across runs).
+	sloHook func(at, lat float64, err bool)
+	// latMetric is this client's telemetry latency histogram; sampled
+	// completions attach exemplars to it.
+	latMetric *telemetry.Metric
+	nextLBA   uint64
 	// Read-verification tracking.
 	writtenLBAs []uint64
 	writtenData map[uint64][]byte
@@ -179,6 +197,7 @@ func (c *Cluster) newClient(id int) *Client {
 	cl := &Client{
 		c:        c,
 		id:       id,
+		comp:     "client" + itoa(id),
 		stack:    stack,
 		rng:      c.rng.Split(),
 		inflight: make(map[uint64]*issued),
@@ -207,9 +226,16 @@ func (cl *Client) onReply(m *rdma.Message) {
 	if iss.isRead {
 		op = "read"
 	}
-	cl.c.cfg.Trace.End(cl.c.Env.Now(), "net", "reply", middletier.TraceID(uint64(cl.id), h.ReqID))
-	cl.c.cfg.Trace.End(cl.c.Env.Now(), "client"+itoa(cl.id), op, h.ReqID)
-	if h.Status != blockstore.StatusOK {
+	now := cl.c.Env.Now()
+	lat := now - iss.at
+	errored := h.Status != blockstore.StatusOK
+	// Resolve the head-sampling decision once; tr is nil for unsampled
+	// requests, making both End calls free.
+	tid := middletier.TraceID(uint64(cl.id), h.ReqID)
+	tr := cl.c.cfg.Trace.ForRequest(tid)
+	tr.End(now, "net", "reply", tid)
+	tr.End(now, cl.comp, op, h.ReqID)
+	if errored {
 		cl.Errors++
 	} else if iss.isRead {
 		if iss.block != nil && len(m.Data) > blockstore.HeaderSize {
@@ -224,13 +250,29 @@ func (cl *Client) onReply(m *rdma.Message) {
 		cl.rememberWrite(iss.lba, iss.block)
 	}
 	if cl.completionHook != nil {
-		now := cl.c.Env.Now()
-		cl.completionHook(now, now-iss.at, h.Status != blockstore.StatusOK)
+		cl.completionHook(now, lat, errored)
+	}
+	if cl.sloHook != nil {
+		cl.sloHook(now, lat, errored)
+	}
+	if tr == nil && cl.c.cfg.Trace != nil {
+		// Tail-based keep: errors and p999 outliers are retroactively
+		// traced even when head sampling dropped them (outliers only
+		// once the histogram has enough mass to trust its tail).
+		if errored {
+			cl.c.cfg.Trace.KeepTail(float64(iss.at), now, "error", tid)
+		} else if cl.Lat.Count() >= 512 && lat >= cl.Lat.P999() {
+			cl.c.cfg.Trace.KeepTail(float64(iss.at), now, "p999", tid)
+		}
 	}
 	if cl.measuring {
-		cl.Lat.Record(cl.c.Env.Now() - iss.at)
+		cl.Lat.Record(lat)
 		cl.Done++
 		cl.BytesMoved += iss.size
+		if tr != nil && cl.latMetric != nil {
+			// Exemplar: link this latency bucket to a kept trace id.
+			cl.latMetric.RecordExemplar(lat, tid, now)
+		}
 	}
 	if cl.onComplete != nil {
 		cl.onComplete()

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/disagg/smartds/internal/evlog"
+	"github.com/disagg/smartds/internal/faults"
+	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/slo"
+	"github.com/disagg/smartds/internal/telemetry"
+	"github.com/disagg/smartds/internal/trace"
+)
+
+// sloCampaign runs one fault campaign under an SLO spec and returns
+// the fired alerts, the telemetry report JSON, and the event log.
+func sloCampaign(t *testing.T, spec string) ([]slo.Alert, []byte, string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	var buf bytes.Buffer
+	var c *Cluster
+	log := evlog.New(&buf, evlog.Info, func() float64 { return c.Env.Now() })
+
+	cfg := DefaultConfig(middletier.SmartDS)
+	cfg.Seed = 7
+	cfg.NumStorage = 5
+	cfg.MT.ReplicateTimeout = 1.5e-3
+	cfg.Telemetry = reg
+	cfg.TelemetryExp = "slo-test"
+	cfg.SLO = slo.MustParse(spec)
+	cfg.Log = log
+	c = New(cfg)
+
+	// A middle-tier restart halts all service for its window, so the
+	// first post-fault completion — the monitor's TTR — lands well past
+	// the 1 ms ceiling (a storage crash reroutes in microseconds and
+	// would not burn TTR budget).
+	sched := faults.MustParse("restart:mt@4ms+2ms")
+	if _, err := c.ApplyFaults(sched); err != nil {
+		t.Fatalf("ApplyFaults: %v", err)
+	}
+	res := c.Run(Workload{Window: 8, Warmup: 1e-3, Measure: 12e-3})
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	rep, err := json.Marshal(reg.BuildReport("slo-test", cfg.Seed, true, nil))
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return res.Alerts, rep, buf.String()
+}
+
+// TestSLOAlertsDeterministic pins the acceptance path end to end: a
+// fault campaign whose recovery blows a 1 ms TTR ceiling fires an
+// alert, the alert lands in the telemetry run record (what the
+// smartds-report -slo gate reads), and two same-seed runs produce
+// byte-identical alert lists and event logs.
+func TestSLOAlertsDeterministic(t *testing.T) {
+	const spec = "ttr:1ms"
+	alertsA, repA, logA := sloCampaign(t, spec)
+	alertsB, repB, logB := sloCampaign(t, spec)
+
+	if len(alertsA) == 0 {
+		t.Fatal("fault campaign fired no TTR alert")
+	}
+	found := false
+	for _, al := range alertsA {
+		if al.Kind == "ttr" && al.BurnShort > 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ttr alert over ceiling in %+v", alertsA)
+	}
+
+	ja, _ := json.Marshal(alertsA)
+	jb, _ := json.Marshal(alertsB)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("alerts differ across same-seed runs:\n%s\n%s", ja, jb)
+	}
+	if !bytes.Equal(repA, repB) {
+		t.Fatal("telemetry reports differ across same-seed runs")
+	}
+	if logA != logB {
+		t.Fatalf("event logs differ across same-seed runs:\n%q\n%q", logA, logB)
+	}
+	if logA == "" {
+		t.Fatal("event log empty — cluster/faults/mt emitted nothing")
+	}
+
+	// The record the report gate reads must carry the alert.
+	var rep telemetry.Report
+	if err := json.Unmarshal(repA, &rep); err != nil {
+		t.Fatalf("report round-trip: %v", err)
+	}
+	fired := 0
+	for _, run := range rep.Runs {
+		fired += len(run.Alerts)
+	}
+	if fired == 0 {
+		t.Fatal("report runs carry no alerts — smartds-report -slo gate would pass wrongly")
+	}
+}
+
+// TestSampledTracingCluster pins head sampling at the cluster level: a
+// 1% rate keeps far fewer spans than full tracing, the same seed keeps
+// the same spans, and sampled completions attach exemplars that
+// survive into the report.
+func TestSampledTracingCluster(t *testing.T) {
+	runOnce := func(rate float64) (spans int, exemplars int) {
+		tr := trace.New(1 << 20) // big enough that the ring never wraps
+		tr.SetSampling(rate, 42)
+		reg := telemetry.NewRegistry()
+		cfg := DefaultConfig(middletier.SmartDS)
+		cfg.Seed = 11
+		cfg.Trace = tr
+		cfg.Telemetry = reg
+		cfg.TelemetryExp = "sample-test"
+		c := New(cfg)
+		res := c.Run(Workload{Window: 8, Warmup: 1e-3, Measure: 8e-3})
+		if res.Requests == 0 {
+			t.Fatal("no requests completed")
+		}
+		rep := reg.BuildReport("sample-test", cfg.Seed, true, nil)
+		return len(tr.Events()), len(rep.Exemplars)
+	}
+
+	full, fullEx := runOnce(1)
+	sampled, sampledEx := runOnce(0.01)
+	if sampled >= full/10 {
+		t.Fatalf("1%% sampling kept %d of %d spans — head sampling not engaged", sampled, full)
+	}
+	if full == 0 || fullEx == 0 {
+		t.Fatalf("full tracing recorded %d spans, %d exemplars", full, fullEx)
+	}
+	// Sampled exemplars only come from kept traces.
+	if sampledEx > fullEx {
+		t.Fatalf("sampled run has more exemplars (%d) than full (%d)", sampledEx, fullEx)
+	}
+
+	again, _ := runOnce(0.01)
+	if again != sampled {
+		t.Fatalf("same-seed sampled runs kept %d vs %d spans", again, sampled)
+	}
+}

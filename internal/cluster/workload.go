@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/mem"
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/pcie"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/slo"
 	"github.com/disagg/smartds/internal/telemetry"
 )
 
@@ -48,6 +50,10 @@ type Results struct {
 	AccelH2D, AccelD2H        float64 // accelerator card PCIe (Accel)
 	SDSH2D, SDSD2H            float64 // SmartDS card PCIe
 	VerifyMismatches          uint64
+
+	// Alerts fired by the run's SLO burn-rate engine (empty without
+	// Config.SLO), in deterministic firing order.
+	Alerts []slo.Alert
 }
 
 // TotalPCIeH2D sums every PCIe endpoint's host-to-device rate.
@@ -68,8 +74,13 @@ func (cl *Client) issue(w Workload) {
 	if isRead {
 		op = "read"
 	}
-	c.cfg.Trace.Begin(c.Env.Now(), "client"+itoa(cl.id), op, id)
-	c.cfg.Trace.Begin(c.Env.Now(), "net", "request", middletier.TraceID(uint64(cl.id), id))
+	// One sampling decision covers the request end to end: the client
+	// spans here, the net span, and (because the middle tier hashes the
+	// same trace id) every middle-tier stage span.
+	tid := middletier.TraceID(uint64(cl.id), id)
+	tr := c.cfg.Trace.ForRequest(tid)
+	tr.Begin(c.Env.Now(), cl.comp, op, id)
+	tr.Begin(c.Env.Now(), "net", "request", tid)
 	if isRead {
 		lba := cl.writtenLBAs[cl.rng.Intn(len(cl.writtenLBAs))]
 		loc := c.geo.Resolve(lba)
@@ -154,6 +165,22 @@ func (c *Cluster) Run(w Workload) Results {
 	}
 	ev0 := c.Env.Events()
 
+	// Attach the SLO burn-rate engine for this run. sloHook is
+	// overwritten (not chained) every Run so engines never stack.
+	var eng *slo.Engine
+	if len(c.cfg.SLO) > 0 {
+		eng = slo.NewEngine(c.Env, c.cfg.SLO, 100e-6)
+		for _, cl := range c.Clients {
+			cl.sloHook = eng.Observe
+		}
+	}
+
+	clog := c.cfg.Log.With("cluster")
+	if clog.Enabled(evlog.Info) {
+		clog.Info("run_start", "design", c.KindName(), "seed", c.cfg.Seed,
+			"clients", len(c.Clients), "measure", w.Measure)
+	}
+
 	if w.Rate > 0 {
 		perClient := w.Rate / float64(len(c.Clients))
 		for _, cl := range c.Clients {
@@ -204,6 +231,7 @@ func (c *Cluster) Run(w Workload) Results {
 	if scope != nil {
 		scope.StartSampling(c.Env, start+w.Warmup+w.Measure)
 	}
+	eng.Run(start + w.Warmup + w.Measure)
 	// Export periodic resource-utilization counters alongside the request
 	// spans: middle-tier memory and PCIe bandwidth plus the first
 	// client's NIC PSLink, sampled on a fixed virtual-time grid so
@@ -279,12 +307,29 @@ func (c *Cluster) Run(w Workload) Results {
 	res.NICH2D, res.NICD2H = pcie.RatesBetween(nicA, nicB)
 	res.AccelH2D, res.AccelD2H = pcie.RatesBetween(accA, accB)
 	res.SDSH2D, res.SDSD2H = pcie.RatesBetween(sdsA, sdsB)
+	if eng != nil && c.inj != nil && c.faultSched != nil {
+		// Recoveries arrive in schedule order, so TTR alerts land in a
+		// deterministic order too.
+		for _, r := range c.inj.Monitor.Stats(c.faultSched).Recoveries {
+			eng.ObserveTTR(end, r.Event.Kind.String(), r.Event.Target, r.TimeToRecover)
+		}
+	}
+	res.Alerts = eng.Alerts()
+	for _, al := range res.Alerts {
+		if clog.Enabled(evlog.Error) {
+			clog.Error("slo_alert", "slo", al.SLO, "kind", al.Kind,
+				"severity", al.Severity, "at", al.At, "detail", al.Detail)
+		}
+	}
 	if scope != nil {
 		scope.RecordResults(res.Duration, res.Requests, res.Errors,
 			res.Throughput, res.ReqPerSec, res.Lat)
 		scope.RecordSimEvents(c.Env.Events() - ev0)
 		if c.inj != nil && c.faultSched != nil {
 			scope.RecordFaults(faultSummary(c.inj.Monitor.Stats(c.faultSched)))
+		}
+		if len(res.Alerts) > 0 {
+			scope.RecordAlerts(alertSummary(res.Alerts))
 		}
 	}
 	return res

@@ -138,8 +138,10 @@ func (in *Instance) place(m *rdma.Message, d *recvDesc) {
 	dev.spanSeq++
 	span := dev.spanSeq
 	dev.env.Go(fmt.Sprintf("%s.split[%d]", dev.name, in.index), func(p *sim.Proc) {
-		dev.tr.Begin(p.Now(), dev.name, "split", span)
-		defer func() { dev.tr.End(p.Now(), dev.name, "split", span) }()
+		// Head-sampled by span seq; identity at full rate.
+		tr := dev.tr.ForRequest(span)
+		tr.Begin(p.Now(), dev.name, "split", span)
+		defer func() { tr.End(p.Now(), dev.name, "split", span) }()
 		total := int(m.Size)
 		hdr := d.hsize
 		if hdr > total {
@@ -199,8 +201,10 @@ func (in *Instance) DevMixedSend(qp *rdma.QP, hbuf *HostBuf, hsize int, dbuf *de
 	dev.spanSeq++
 	span := dev.spanSeq
 	dev.env.Go(fmt.Sprintf("%s.assemble[%d]", dev.name, in.index), func(p *sim.Proc) {
-		dev.tr.Begin(p.Now(), dev.name, "assemble", span)
-		defer func() { dev.tr.End(p.Now(), dev.name, "assemble", span) }()
+		// Head-sampled by span seq; identity at full rate.
+		tr := dev.tr.ForRequest(span)
+		tr.Begin(p.Now(), dev.name, "assemble", span)
+		defer func() { tr.End(p.Now(), dev.name, "assemble", span) }()
 		// Gather both halves in parallel: PCIe H2D for the header,
 		// device memory for the payload.
 		var waits []*sim.Event

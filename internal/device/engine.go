@@ -88,7 +88,9 @@ func (e *Engine) Down() bool { return e.down }
 func (e *Engine) Run(p *sim.Proc, inBytes, outBytes float64) {
 	e.jobID++
 	id := e.jobID
-	e.tr.Begin(p.Now(), e.name, "job", id)
+	// Head-sampled by job id; at full rate ForRequest is the identity.
+	tr := e.tr.ForRequest(id)
+	tr.Begin(p.Now(), e.name, "job", id)
 	e.slot.Acquire(p)
 	inEv := e.mem.StartAccess(inBytes)
 	p.Sleep(inBytes / e.rate)
@@ -97,7 +99,7 @@ func (e *Engine) Run(p *sim.Proc, inBytes, outBytes float64) {
 	e.slot.Release()
 	p.Wait(inEv)
 	p.Wait(outEv)
-	e.tr.End(p.Now(), e.name, "job", id)
+	tr.End(p.Now(), e.name, "job", id)
 }
 
 // LZ4Engine is the compression engine SmartDS instantiates per port: a

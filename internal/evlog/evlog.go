@@ -1,0 +1,199 @@
+// Package evlog is the simulator's structured event log: a leveled,
+// slog-style logger stamped with virtual time instead of wall-clock
+// time. It replaces ad-hoc prints across cluster, middletier, and
+// faults with one deterministic channel: attributes are ordered
+// key=value pairs (never maps), values format through strconv, and the
+// clock is the sim clock — so same-seed runs emit byte-identical logs
+// and a log diff is a regression signal.
+//
+// A nil *Logger is valid and silently drops everything (the same
+// contract as trace.Tracer), so call sites need no guards and the
+// disabled path costs one nil check.
+package evlog
+
+import (
+	"io"
+	"strconv"
+)
+
+// Level classifies log events.
+type Level int8
+
+// The four levels, debug lowest.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "DEBUG"
+	case Info:
+		return "INFO"
+	case Warn:
+		return "WARN"
+	case Error:
+		return "ERROR"
+	default:
+		return "LEVEL(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel maps a flag string to a level (default Info).
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return Debug
+	case "warn":
+		return Warn
+	case "error":
+		return Error
+	default:
+		return Info
+	}
+}
+
+// Logger writes structured events. Build with New, derive
+// per-component children with With.
+type Logger struct {
+	w         io.Writer
+	min       Level
+	clock     func() float64
+	component string
+	events    *uint64
+}
+
+// New builds a logger writing events at or above min to w, stamped by
+// clock (virtual seconds; required).
+func New(w io.Writer, min Level, clock func() float64) *Logger {
+	return &Logger{w: w, min: min, clock: clock, events: new(uint64)}
+}
+
+// With returns a child logger tagging every event with the component
+// (e.g. "mt", "faults", "cluster"). Children share the sink and level.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.component = component
+	return &child
+}
+
+// Enabled reports whether events at the level would be written — guard
+// any attribute computation that allocates.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min
+}
+
+// Events reports how many events were written (shared across With
+// children).
+func (l *Logger) Events() uint64 {
+	if l == nil || l.events == nil {
+		return 0
+	}
+	return *l.events
+}
+
+// Log writes one event: a name plus ordered key-value attribute pairs
+// (slog convention: "key", value, "key", value, ...). Values may be
+// string, int, int64, uint64, float64, or bool; anything else renders
+// as "?(unsupported)" rather than panicking mid-simulation.
+func (l *Logger) Log(lv Level, event string, kvs ...interface{}) {
+	if !l.Enabled(lv) {
+		return
+	}
+	buf := make([]byte, 0, 96)
+	buf = appendTimestamp(buf, l.clock())
+	buf = append(buf, ' ')
+	buf = append(buf, lv.String()...)
+	for n := len(lv.String()); n < 5; n++ {
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, ' ')
+	if l.component != "" {
+		buf = append(buf, l.component...)
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, event...)
+	for i := 0; i+1 < len(kvs); i += 2 {
+		key, ok := kvs[i].(string)
+		if !ok {
+			key = "?key"
+		}
+		buf = append(buf, ' ')
+		buf = append(buf, key...)
+		buf = append(buf, '=')
+		buf = appendValue(buf, kvs[i+1])
+	}
+	if len(kvs)%2 != 0 {
+		buf = append(buf, " ?dangling"...)
+	}
+	buf = append(buf, '\n')
+	*l.events++
+	l.w.Write(buf)
+}
+
+// Debugf-style helpers at each level.
+func (l *Logger) Debug(event string, kvs ...interface{}) { l.Log(Debug, event, kvs...) }
+
+// Info logs at Info level.
+func (l *Logger) Info(event string, kvs ...interface{}) { l.Log(Info, event, kvs...) }
+
+// Warn logs at Warn level.
+func (l *Logger) Warn(event string, kvs ...interface{}) { l.Log(Warn, event, kvs...) }
+
+// Error logs at Error level.
+func (l *Logger) Error(event string, kvs ...interface{}) { l.Log(Error, event, kvs...) }
+
+// appendTimestamp renders virtual seconds as fixed-width microsecond
+// precision (order-preserving lexical sort within a run).
+func appendTimestamp(buf []byte, sec float64) []byte {
+	us := int64(sec*1e6 + 0.5)
+	whole := us / 1e6
+	frac := us % 1e6
+	buf = strconv.AppendInt(buf, whole, 10)
+	buf = append(buf, '.')
+	digits := strconv.AppendInt(nil, frac+1e6, 10) // force 7 digits, drop lead
+	buf = append(buf, digits[1:]...)
+	return buf
+}
+
+// appendValue renders one attribute value deterministically.
+func appendValue(buf []byte, v interface{}) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendString(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	default:
+		return append(buf, "?(unsupported)"...)
+	}
+}
+
+// appendString quotes only when the value contains whitespace or '='
+// (keeps the common case grep-friendly).
+func appendString(buf []byte, s string) []byte {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '"', '=':
+			plain = false
+		}
+	}
+	if plain {
+		return append(buf, s...)
+	}
+	return strconv.AppendQuote(buf, s)
+}

@@ -18,8 +18,10 @@ package experiments
 
 import (
 	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
+	"github.com/disagg/smartds/internal/slo"
 	"github.com/disagg/smartds/internal/storage"
 	"github.com/disagg/smartds/internal/telemetry"
 	"github.com/disagg/smartds/internal/trace"
@@ -50,6 +52,17 @@ type Options struct {
 	// records into the central registry; Run threads the experiment id
 	// into the run labels automatically.
 	Telemetry *telemetry.Registry
+	// SLO declares service-level objectives (see internal/slo for the
+	// grammar) evaluated by a burn-rate engine on every cluster run;
+	// fired alerts land in the telemetry run records. Empty disables.
+	SLO []slo.Spec
+	// Log, when set, receives structured sim-time events from every
+	// layer of every cluster an experiment builds.
+	Log *evlog.Logger
+	// OnCluster, when set, is called with each new cluster's virtual
+	// clock right after construction — the event-log clock follows the
+	// currently-running cluster through it.
+	OnCluster func(now func() float64)
 
 	// exp is the currently-executing experiment id (set by Run), used
 	// to label telemetry run records.
@@ -88,10 +101,16 @@ func (o Options) newCluster(kind middletier.Kind, mutate func(*cluster.Config)) 
 	cfg.Trace = o.Trace
 	cfg.Telemetry = o.Telemetry
 	cfg.TelemetryExp = o.exp
+	cfg.SLO = o.SLO
+	cfg.Log = o.Log
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return cluster.New(cfg)
+	c := cluster.New(cfg)
+	if o.OnCluster != nil {
+		o.OnCluster(c.Env.Now)
+	}
+	return c
 }
 
 // runPeak drives a saturating closed loop sized to the design.

@@ -22,8 +22,9 @@ func (s *Server) bf2Recv(qp *rdma.QP, m *rdma.Message) {
 	}
 	s.env.Go("bf2.req", func(p *sim.Proc) {
 		tid := traceID(req.hdr)
-		s.cfg.Trace.End(p.Now(), "net", "request", tid)
-		s.cfg.Trace.Begin(p.Now(), "mt", "parse", tid)
+		tr := s.cfg.Trace.ForRequest(tid)
+		tr.End(p.Now(), "net", "request", tid)
+		tr.Begin(p.Now(), "mt", "parse", tid)
 		// Network-in: the message is written into SoC DRAM.
 		s.bf2Mem.Access(p, m.Size)
 		switch req.hdr.Op {
@@ -45,7 +46,7 @@ func (s *Server) bf2StorageReply(m *rdma.Message) {
 
 func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 	arm := s.nextBF2Core()
 	arm.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
@@ -124,7 +125,7 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 
 func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 	arm := s.nextBF2Core()
 	arm.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)

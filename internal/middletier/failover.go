@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/netsim"
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/sim"
@@ -189,7 +190,12 @@ func (s *Server) RebuildServer(p *sim.Proc, idx int, servers []*storage.Server) 
 		p.Sleep(total / s.cfg.PortRate)
 	}
 	s.RebuildBytes += total
-	s.cfg.Trace.Emit(p.Now(), "mt", "rebuild",
-		fmt.Sprintf("server=%d chunks=%d bytes=%.0f", idx, rebuilt, total))
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(p.Now(), "mt", "rebuild",
+			fmt.Sprintf("server=%d chunks=%d bytes=%.0f", idx, rebuilt, total))
+	}
+	if s.cfg.Log.Enabled(evlog.Info) {
+		s.cfg.Log.Info("rebuild", "server", idx, "chunks", rebuilt, "bytes", total)
+	}
 	return total
 }

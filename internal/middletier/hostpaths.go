@@ -101,7 +101,7 @@ func encodeFrameWith(enc *lz4.Encoder, block []byte, level lz4.Level) ([]byte, e
 // hostWrite serves one write request on the CPUOnly or Accel path.
 func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 	tr.End(p.Now(), "net", "request", tid)
 	tr.Begin(p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
@@ -191,7 +191,7 @@ func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byt
 // BF2 and SmartDS have their own senders.
 func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, frame []byte, frameSize float64, flags uint8) {
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 	tr.Begin(p.Now(), "mt", "replicate", tid)
 	version := s.nextWriteVersion()
 	status, stored := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
@@ -235,7 +235,7 @@ func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, 
 // decompress, reply with the block.
 func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 	tr.End(p.Now(), "net", "request", tid)
 	tr.Begin(p.Now(), "mt", "parse", tid)
 	core := s.nextCore()

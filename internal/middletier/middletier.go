@@ -25,6 +25,7 @@ import (
 	"github.com/disagg/smartds/internal/blockstore"
 	"github.com/disagg/smartds/internal/core"
 	"github.com/disagg/smartds/internal/device"
+	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/host"
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/mem"
@@ -130,6 +131,10 @@ type Config struct {
 	// Trace, when set, records per-stage request spans (parse, compress,
 	// replicate, ack, ...) in virtual time. Nil disables tracing.
 	Trace *trace.Tracer
+
+	// Log, when set, receives structured middle-tier lifecycle events
+	// (rebuilds, backfills) as the event log's "mt" component.
+	Log *evlog.Logger
 }
 
 // DefaultConfig returns the paper's testbed parameters for a kind.
@@ -762,8 +767,14 @@ func (s *Server) scheduleBackfill(key chunkKey, srcs []int, dst int) {
 		}
 		s.BackfillBytes += float64(n)
 		p.Sleep(float64(n) / s.cfg.PortRate)
-		s.cfg.Trace.Emit(p.Now(), "mt", "backfill",
-			fmt.Sprintf("chunk=%d/%d src=%d dst=%d bytes=%d", key.seg, key.chunk, src, dst, n))
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.Emit(p.Now(), "mt", "backfill",
+				fmt.Sprintf("chunk=%d/%d src=%d dst=%d bytes=%d", key.seg, key.chunk, src, dst, n))
+		}
+		if s.cfg.Log.Enabled(evlog.Info) {
+			s.cfg.Log.Info("backfill", "seg", key.seg, "chunk", key.chunk,
+				"src", src, "dst", dst, "bytes", n)
+		}
 	})
 }
 

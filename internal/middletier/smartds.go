@@ -105,7 +105,9 @@ func (c *sdsClientConn) handle(p *sim.Proc, i int, res core.Result, repost func(
 		req.payload = nil // functional path requires the header-only split
 	}
 	tid := traceID(hdr)
-	tr := s.cfg.Trace
+	// Resolve the head-sampling decision once; an unsampled request gets
+	// a nil tracer and every span call below is a free no-op.
+	tr := s.cfg.Trace.ForRequest(tid)
 	tr.End(p.Now(), "net", "request", tid)
 	tr.Begin(p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
@@ -128,7 +130,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	inst := c.inst
 	bypass := req.hdr.Flags&blockstore.FlagLatencySensitive != 0
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 
 	var payloadBuf *device.Buffer
 	var payloadSize float64
@@ -246,7 +248,7 @@ func maxInt(a, b int) int {
 func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	inst := c.inst
 	tid := traceID(req.hdr)
-	tr := s.cfg.Trace
+	tr := s.cfg.Trace.ForRequest(tid)
 	path := inst.Index()
 	var pr *pendingReq
 	if s.cfg.Protocol == ProtoQuorum {

@@ -303,8 +303,12 @@ func (qp *QP) send(data []byte, size float64) *sim.Event {
 	qp.unacked = append(qp.unacked, ps)
 	if tr := qp.stack.cfg.Trace; tr != nil {
 		qp.stack.spanSeq++
-		ps.span = qp.stack.spanSeq
-		tr.Begin(qp.stack.env.Now(), qp.stack.traceName(), "send", ps.span)
+		// Head sampling: unsampled sends leave ps.span zero so the End
+		// side skips too. At full rate ForRequest is the identity.
+		if st := tr.ForRequest(qp.stack.spanSeq); st != nil {
+			ps.span = qp.stack.spanSeq
+			st.Begin(qp.stack.env.Now(), qp.stack.traceName(), "send", ps.span)
+		}
 	}
 	qp.transmit(ps)
 	return done

@@ -1,0 +1,214 @@
+// Package slo is the sim-time SLO engine: declarative service-level
+// objectives evaluated on the simulator's virtual-clock sampling grid,
+// with multi-window burn-rate alerting. Everything is a deterministic
+// function of the completion stream, so same-seed runs fire
+// byte-identical alerts — an alert is a regression signal CI can gate
+// on (smartds-report -slo), not a wall-clock page.
+//
+// The spec grammar is a semicolon-separated list of objectives:
+//
+//	kind:value[@opt=val,opt=val...]
+//
+// where kind is one of
+//
+//	avail — availability objective in percent: the fraction of
+//	        completions that must succeed ("avail:99.9"). A completion
+//	        with a non-OK status burns error budget.
+//	p999  — tail-latency ceiling at a 99.9% objective: completions
+//	        slower than the ceiling (or errored) burn budget
+//	        ("p999:250us").
+//	ttr   — time-to-recover ceiling for fault campaigns ("ttr:10ms"):
+//	        each recovery's burn rate is ttr/ceiling, and a recovery
+//	        slower than the ceiling (or never observed) fires.
+//
+// and the options tune the burn-rate windows:
+//
+//	short=500us  — fast window (default 500 µs of virtual time)
+//	long=5ms     — confirmation window (default 5 ms)
+//	burn=10      — burn-rate threshold (default 10x budget velocity)
+//
+// avail and p999 alerts fire on the sampling grid when the burn rate
+// over BOTH windows meets the threshold (the classic multi-window rule:
+// the short window reacts fast, the long window keeps one bad tick from
+// paging), and re-arm when both fall back below it. ttr alerts are
+// appended once per out-of-budget recovery when the campaign's stats
+// arrive, in schedule order.
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the objective types.
+type Kind int
+
+// The objective kinds of the spec grammar.
+const (
+	Availability Kind = iota
+	LatencyP999
+	TTRCeiling
+)
+
+var kindNames = [...]string{"avail", "p999", "ttr"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var kindByName = map[string]Kind{
+	"avail": Availability, "p999": LatencyP999, "ttr": TTRCeiling,
+}
+
+// Default burn-rate windows and threshold, scaled to the millisecond
+// horizons the experiments run (a 30 ms measure window corresponds to
+// a production hour).
+const (
+	DefaultShort = 500e-6
+	DefaultLong  = 5e-3
+	DefaultBurn  = 10.0
+)
+
+// Spec is one parsed objective.
+type Spec struct {
+	Kind Kind
+	// Name is the objective's identity in alerts: the spec item as
+	// written (e.g. "p999:250us").
+	Name string
+	// Objective is the required good fraction (avail, p999); budget is
+	// 1 - Objective.
+	Objective float64
+	// Ceiling is the latency ceiling (p999) or recovery-time ceiling
+	// (ttr) in seconds.
+	Ceiling float64
+	// Short, Long, Burn are the multi-window burn-rate knobs.
+	Short, Long, Burn float64
+}
+
+// budget is the tolerated bad-event fraction.
+func (s Spec) budget() float64 { return 1 - s.Objective }
+
+// bad classifies one completion against the objective.
+func (s Spec) bad(lat float64, err bool) bool {
+	switch s.Kind {
+	case Availability:
+		return err
+	case LatencyP999:
+		return err || lat > s.Ceiling
+	default:
+		return false
+	}
+}
+
+// String renders the spec back in grammar form.
+func (s Spec) String() string { return s.Name }
+
+// Parse builds the objective list from a spec string.
+func Parse(spec string) ([]Spec, error) {
+	var out []Spec
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		sp, err := parseItem(item)
+		if err != nil {
+			return nil, fmt.Errorf("slo: %q: %w", item, err)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// MustParse is Parse for known-good literals.
+func MustParse(spec string) []Spec {
+	out, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func parseItem(item string) (Spec, error) {
+	sp := Spec{Short: DefaultShort, Long: DefaultLong, Burn: DefaultBurn, Name: item}
+	colon := strings.Index(item, ":")
+	if colon < 0 {
+		return sp, fmt.Errorf("missing kind separator, want kind:value")
+	}
+	kind, ok := kindByName[strings.ToLower(item[:colon])]
+	if !ok {
+		return sp, fmt.Errorf("unknown SLO kind %q", item[:colon])
+	}
+	sp.Kind = kind
+	rest := item[colon+1:]
+	value := rest
+	if at := strings.Index(rest, "@"); at >= 0 {
+		value = rest[:at]
+		for _, opt := range strings.Split(rest[at+1:], ",") {
+			opt = strings.TrimSpace(opt)
+			if opt == "" {
+				continue
+			}
+			eq := strings.Index(opt, "=")
+			if eq < 0 {
+				return sp, fmt.Errorf("bad option %q, want key=value", opt)
+			}
+			key, val := strings.TrimSpace(opt[:eq]), strings.TrimSpace(opt[eq+1:])
+			switch key {
+			case "short", "long":
+				d, err := time.ParseDuration(val)
+				if err != nil || d <= 0 {
+					return sp, fmt.Errorf("bad %s window %q", key, val)
+				}
+				if key == "short" {
+					sp.Short = d.Seconds()
+				} else {
+					sp.Long = d.Seconds()
+				}
+			case "burn":
+				b, err := strconv.ParseFloat(val, 64)
+				if err != nil || b <= 0 {
+					return sp, fmt.Errorf("bad burn threshold %q", val)
+				}
+				sp.Burn = b
+			default:
+				return sp, fmt.Errorf("unknown option %q", key)
+			}
+		}
+	}
+	value = strings.TrimSpace(value)
+
+	switch sp.Kind {
+	case Availability:
+		pct, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return sp, fmt.Errorf("bad availability percent %q", value)
+		}
+		if pct <= 0 || pct >= 100 {
+			return sp, fmt.Errorf("availability %g%% out of (0,100)", pct)
+		}
+		sp.Objective = pct / 100
+	case LatencyP999:
+		d, err := time.ParseDuration(value)
+		if err != nil || d <= 0 {
+			return sp, fmt.Errorf("bad latency ceiling %q", value)
+		}
+		sp.Ceiling = d.Seconds()
+		sp.Objective = 0.999
+	case TTRCeiling:
+		d, err := time.ParseDuration(value)
+		if err != nil || d <= 0 {
+			return sp, fmt.Errorf("bad TTR ceiling %q", value)
+		}
+		sp.Ceiling = d.Seconds()
+	}
+	if sp.Short >= sp.Long {
+		return sp, fmt.Errorf("short window %v must be below long window %v", sp.Short, sp.Long)
+	}
+	return sp, nil
+}

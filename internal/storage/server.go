@@ -99,22 +99,25 @@ type Server struct {
 	diskSeq uint64
 }
 
-// diskWrite wraps one disk write IO in a trace span.
+// diskWrite wraps one disk write IO in a trace span (head-sampled by
+// IO sequence number; at full rate ForRequest is the identity).
 func (s *Server) diskWrite(p *sim.Proc, n float64) {
 	s.diskSeq++
 	id := s.diskSeq
-	s.Trace.Begin(p.Now(), s.name, "disk-write", id)
+	tr := s.Trace.ForRequest(id)
+	tr.Begin(p.Now(), s.name, "disk-write", id)
 	s.disk.Write(p, n)
-	s.Trace.End(p.Now(), s.name, "disk-write", id)
+	tr.End(p.Now(), s.name, "disk-write", id)
 }
 
 // diskRead wraps one disk read IO in a trace span.
 func (s *Server) diskRead(p *sim.Proc, n float64) {
 	s.diskSeq++
 	id := s.diskSeq
-	s.Trace.Begin(p.Now(), s.name, "disk-read", id)
+	tr := s.Trace.ForRequest(id)
+	tr.Begin(p.Now(), s.name, "disk-read", id)
 	s.disk.Read(p, n)
-	s.Trace.End(p.Now(), s.name, "disk-read", id)
+	tr.End(p.Now(), s.name, "disk-read", id)
 }
 
 // NewServer attaches a storage server to the fabric.

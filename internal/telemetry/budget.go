@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/disagg/smartds/internal/metrics"
+)
+
+// Cardinality control: at cluster scale (the ROADMAP's 10^5 simulated
+// volumes) per-entity label sets would mean 10^5 live series per
+// metric family. Two mechanisms bound that:
+//
+//   - Label budgets: a run scope registers at most Registry.LabelBudget
+//     distinct series per metric name; registrations past the budget
+//     fold deterministically into one overflow series labeled
+//     overflow="other" (pull callbacks are summed, histograms merged at
+//     export). Registration order is deterministic, so which series
+//     overflow is too.
+//
+//   - Roll-ups: AddRollup derives an aggregate family from a source
+//     family by dropping label keys (per-tenant → per-shard → cluster),
+//     so dashboards read one rolled-up series while the budgeted
+//     per-entity view stays bounded. Roll-ups materialize at export
+//     time from whatever series exist (including overflow), cost
+//     nothing per sample, and are idempotent per destination name.
+
+// Exemplar ties one recorded sample to the trace that produced it: the
+// bridge from a latency bucket to a kept trace ID.
+type Exemplar struct {
+	Value   float64 // the sample
+	TraceID uint64  // head-sampled trace correlation id
+	At      float64 // virtual seconds
+}
+
+// RecordExemplar attaches an exemplar to a histogram metric's bucket
+// (keyed by the `le` boundary the sample incremented; the latest
+// exemplar per bucket wins, which is deterministic because completions
+// arrive in calendar order). No-op on non-histogram metrics.
+func (m *Metric) RecordExemplar(v float64, traceID uint64, at float64) {
+	if m == nil || m.hist == nil {
+		return
+	}
+	if m.exemplars == nil {
+		m.exemplars = make(map[float64]Exemplar)
+	}
+	m.exemplars[m.hist.UpperBoundFor(v)] = Exemplar{Value: v, TraceID: traceID, At: at}
+}
+
+// ExemplarFor returns the exemplar stored for the bucket boundary, if
+// any.
+func (m *Metric) ExemplarFor(le float64) (Exemplar, bool) {
+	ex, ok := m.exemplars[le]
+	return ex, ok
+}
+
+// ExemplarBounds returns the bucket boundaries holding exemplars in
+// ascending order (the canonical export order).
+func (m *Metric) ExemplarBounds() []float64 {
+	if len(m.exemplars) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(m.exemplars))
+	for le := range m.exemplars {
+		out = append(out, le)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Folded reports how many over-budget series were folded into this
+// overflow metric (0 for ordinary metrics).
+func (m *Metric) Folded() int { return m.folded }
+
+// snapshotHist returns the histogram view to export: the wrapped
+// histogram itself, or — for an overflow series — a fresh merge of
+// every folded source histogram.
+func (m *Metric) snapshotHist() *metrics.Histogram {
+	if len(m.srcHists) == 0 {
+		return m.hist
+	}
+	merged := metrics.NewLatencyHistogram()
+	for _, h := range m.srcHists {
+		merged.Merge(h)
+	}
+	return merged
+}
+
+// foldValue is the scalar reading of an overflow counter/gauge: the sum
+// of every folded pull callback.
+func (m *Metric) foldValue() float64 {
+	var v float64
+	for _, fn := range m.reads {
+		v += fn()
+	}
+	return v
+}
+
+// overflowFor returns (creating on first use) the scope's overflow
+// series for a metric name: the scope labels plus overflow="other".
+func (sc *RunScope) overflowFor(name, help string, kind Kind) *Metric {
+	if sc.overflow == nil {
+		sc.overflow = make(map[string]*Metric)
+	}
+	if m, ok := sc.overflow[name]; ok {
+		if m.kind != kind {
+			panic("telemetry: mixed-kind overflow on " + name)
+		}
+		return m
+	}
+	labels := sc.mergeLabels(map[string]string{"overflow": "other"})
+	m := &Metric{name: name, help: help, kind: kind, labels: labels}
+	switch kind {
+	case KindHistogram:
+		// The exported histogram is the merge of the folded sources;
+		// keep a placeholder so Kind-dispatch sites see a histogram.
+		m.hist = metrics.NewLatencyHistogram()
+	default:
+		m.read = m.foldValue
+	}
+	sc.reg.register(m)
+	sc.overflow[name] = m
+	sc.metrics = append(sc.metrics, m)
+	sc.short[m] = name + MakeLabels(map[string]string{"overflow": "other"}).String()
+	return m
+}
+
+// overBudget counts a registration against the scope's per-name budget
+// and reports whether it must fold into the overflow series.
+func (sc *RunScope) overBudget(name string) bool {
+	budget := sc.reg.LabelBudget
+	if budget <= 0 {
+		return false
+	}
+	if sc.perName == nil {
+		sc.perName = make(map[string]int)
+	}
+	sc.perName[name]++
+	return sc.perName[name] > budget
+}
+
+// rollupRule derives dst from src by dropping label keys.
+type rollupRule struct {
+	src, dst string
+	help     string
+	drop     []string
+}
+
+// AddRollup registers a hierarchical roll-up: every series of the src
+// family is re-grouped with the listed label keys dropped and exported
+// as the dst family (counters and gauges sum; histograms merge).
+// Typical chain: drop "tenant" for a per-shard view, then "shard" for
+// the cluster view. Idempotent per dst name.
+func (r *Registry) AddRollup(src, dst, help string, dropKeys ...string) {
+	for _, rule := range r.rollups {
+		if rule.dst == dst {
+			return
+		}
+	}
+	drop := append([]string(nil), dropKeys...)
+	sort.Strings(drop)
+	r.rollups = append(r.rollups, rollupRule{src: src, dst: dst, help: help, drop: drop})
+}
+
+// materializeRollups builds the derived metrics for every rule from the
+// current registry contents. Output order is deterministic: rules in
+// registration order, groups sorted by reduced label set.
+func (r *Registry) materializeRollups() []*Metric {
+	var out []*Metric
+	for _, rule := range r.rollups {
+		groups := make(map[string]*Metric)
+		var order []string
+		for _, m := range r.metrics {
+			if m.name != rule.src {
+				continue
+			}
+			reduced := dropLabels(m.labels, rule.drop)
+			key := reduced.String()
+			g, ok := groups[key]
+			if !ok {
+				g = &Metric{name: rule.dst, help: rule.help, kind: m.kind, labels: reduced}
+				if m.kind == KindHistogram {
+					g.hist = metrics.NewLatencyHistogram()
+				}
+				groups[key] = g
+				order = append(order, key)
+			}
+			if g.kind != m.kind {
+				panic("telemetry: rollup " + rule.dst + " mixes metric kinds")
+			}
+			switch m.kind {
+			case KindHistogram:
+				g.hist.Merge(m.snapshotHist())
+			default:
+				g.value += m.Value()
+			}
+		}
+		sort.Strings(order)
+		for _, key := range order {
+			out = append(out, groups[key])
+		}
+	}
+	return out
+}
+
+// dropLabels removes the (sorted) keys from a label set.
+func dropLabels(ls LabelSet, drop []string) LabelSet {
+	out := make(LabelSet, 0, len(ls))
+	for _, l := range ls {
+		i := sort.SearchStrings(drop, l.Key)
+		if i < len(drop) && drop[i] == l.Key {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// FormatTraceID renders a trace correlation id the way exemplars and
+// smartds-top display it (fixed-width hex, deterministic).
+func FormatTraceID(id uint64) string {
+	s := strconv.FormatUint(id, 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/metrics"
+)
+
+// TestExportersEmptyRegistry pins the degenerate exports: a registry
+// with nothing registered must still produce well-formed documents.
+func TestExportersEmptyRegistry(t *testing.T) {
+	r := NewRegistry()
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if om.String() != "# EOF\n" {
+		t.Fatalf("empty OpenMetrics = %q, want only the EOF marker", om.String())
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := csv.String(); got != "metric,labels,t_sec,value\n" {
+		t.Fatalf("empty CSV = %q, want header only", got)
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteSeriesJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(js.String()); got != "null" {
+		t.Fatalf("empty series JSON = %q", got)
+	}
+}
+
+// TestZeroRunReport covers a report built before any run was recorded:
+// it must round-trip and load cleanly rather than panic downstream
+// consumers (smartds-report -show / -slo on an aborted run).
+func TestZeroRunReport(t *testing.T) {
+	r := NewRegistry()
+	rep := r.BuildReport("aborted", 9, true, nil)
+	if len(rep.Runs) != 0 {
+		t.Fatalf("zero-run report carries %d runs", len(rep.Runs))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "aborted" || back.Seed != 9 || len(back.Runs) != 0 {
+		t.Fatalf("zero-run report round trip mangled: %+v", back)
+	}
+}
+
+// TestSingleSampleSeries pins the one-point digest and its exports:
+// First==Last==Min==Max==Mean, and both exporters emit exactly one row.
+func TestSingleSampleSeries(t *testing.T) {
+	s := NewSeries(8)
+	s.Append(2e-3, 42)
+	d := s.Digest()
+	if d.Points != 1 || d.First != 42 || d.Last != 42 || d.Min != 42 || d.Max != 42 || d.Mean != 42 {
+		t.Fatalf("single-sample digest = %+v", d)
+	}
+
+	r := NewRegistry()
+	sc := r.NewRun("one", "SmartDS-1", 3)
+	m := sc.CounterFunc("smartds_one_total", "One sample.", nil, func() float64 { return 42 })
+	sam := r.NewSampler(nil, []*Metric{m})
+	_ = sam // the sampler attached the ring; append directly without an env
+	m.Series().Append(2e-3, 42)
+
+	var csv bytes.Buffer
+	if err := r.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("single-sample CSV rows = %d:\n%s", len(rows), csv.String())
+	}
+	if !strings.Contains(rows[1], ",0.002,42") {
+		t.Fatalf("csv row = %q", rows[1])
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteSeriesJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"points": 1`) {
+		t.Fatalf("json digest missing single point:\n%s", js.String())
+	}
+}
+
+// buildBudgetRegistry registers six per-tenant series against a budget
+// of two, always in the same order — the scenario the determinism test
+// snapshots.
+func buildBudgetRegistry() *Registry {
+	r := NewRegistry()
+	r.LabelBudget = 2
+	sc := r.NewRun("budget", "SmartDS-1", 5)
+	for i := 0; i < 6; i++ {
+		tenant := string(rune('a' + i))
+		v := float64(i + 1)
+		sc.CounterFunc("smartds_tenant_ops_total", "Per-tenant ops.",
+			map[string]string{"tenant": tenant}, func() float64 { return v })
+	}
+	h := metrics.NewLatencyHistogram()
+	h.Record(1e-3)
+	for i := 0; i < 3; i++ {
+		tenant := string(rune('a' + i))
+		sc.Histogram("smartds_tenant_latency_seconds", "Per-tenant latency.",
+			map[string]string{"tenant": tenant}, h)
+	}
+	return r
+}
+
+// TestLabelBudgetOverflowDeterministic pins that over-budget series
+// fold into exactly one overflow="other" series per family, that the
+// fold sums the hidden sources, and that two identically-ordered
+// builds export byte-identical documents (the property `go test
+// -shuffle=on` would break if folding depended on map iteration).
+func TestLabelBudgetOverflowDeterministic(t *testing.T) {
+	export := func() string {
+		var buf bytes.Buffer
+		if err := buildBudgetRegistry().WriteOpenMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := export(), export()
+	if a != b {
+		t.Fatalf("same registrations exported different bytes:\n%s\n---\n%s", a, b)
+	}
+
+	// Budget 2 keeps tenants a,b visible; c..f (3+4+5+6 = 18) fold.
+	if !strings.Contains(a, `smartds_tenant_ops_total{design="SmartDS-1",exp="budget",overflow="other",run="0"} 18`) {
+		t.Fatalf("overflow fold missing or wrong sum:\n%s", a)
+	}
+	for _, visible := range []string{`tenant="a"`, `tenant="b"`} {
+		if !strings.Contains(a, visible) {
+			t.Fatalf("within-budget series %s missing:\n%s", visible, a)
+		}
+	}
+	for _, hidden := range []string{`tenant="c"`, `tenant="d"`, `tenant="e"`, `tenant="f"`} {
+		if strings.Contains(a, hidden) {
+			t.Fatalf("over-budget series %s leaked past the fold:\n%s", hidden, a)
+		}
+	}
+
+	// Histogram overflow merges the folded source (tenant c only).
+	if !strings.Contains(a, `smartds_tenant_latency_seconds_count{design="SmartDS-1",exp="budget",overflow="other",run="0"} 1`) {
+		t.Fatalf("histogram overflow merge missing:\n%s", a)
+	}
+
+	// The registry reports how many series each overflow absorbed.
+	r := buildBudgetRegistry()
+	var folded int
+	for _, m := range r.Metrics() {
+		if m.Folded() > 0 {
+			folded = m.Folded()
+		}
+	}
+	if folded == 0 {
+		t.Fatal("no metric reports folded sources")
+	}
+}

@@ -50,6 +50,19 @@ type FaultSummary struct {
 	Recoveries     []TTR   `json:"recoveries,omitempty"`
 }
 
+// Alert is one fired SLO alert in the run report (mirrors slo.Alert
+// without importing it). Byte-deterministic: alerts fire on the
+// sim-time sampling grid, so same-seed runs report identical lists.
+type Alert struct {
+	SLO       string  `json:"slo"`
+	Kind      string  `json:"kind"`
+	Severity  string  `json:"severity"`
+	At        float64 `json:"at_sec"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
 // RunRecord is one cluster.Run's machine-readable result. Matched
 // across reports by (Experiment, Design, Seq).
 type RunRecord struct {
@@ -73,6 +86,7 @@ type RunRecord struct {
 	Latency  LatencySummary     `json:"latency"`
 	Counters map[string]float64 `json:"counters,omitempty"`
 	Faults   *FaultSummary      `json:"faults,omitempty"`
+	Alerts   []Alert            `json:"alerts,omitempty"`
 }
 
 // Key is the cross-report matching identity of a run.
@@ -89,6 +103,11 @@ type RunScope struct {
 	labels  LabelSet
 	metrics []*Metric
 	short   map[*Metric]string
+
+	// Label-budget state (see budget.go): per-name registration counts
+	// and the overflow series absorbing over-budget registrations.
+	perName  map[string]int
+	overflow map[string]*Metric
 }
 
 // NewRun opens a scope for one cluster run. Seq is assigned per
@@ -150,18 +169,41 @@ func (sc *RunScope) mergeLabels(extra map[string]string) LabelSet {
 	return ls
 }
 
-// CounterFunc registers a pull counter under the scope's labels.
+// CounterFunc registers a pull counter under the scope's labels. Past
+// the registry's label budget the callback folds into the scope's
+// overflow series instead (its value is the sum of every fold).
 func (sc *RunScope) CounterFunc(name, help string, extra map[string]string, fn func() float64) *Metric {
+	if sc.overBudget(name) {
+		m := sc.overflowFor(name, help, KindCounter)
+		m.reads = append(m.reads, fn)
+		m.folded++
+		return m
+	}
 	return sc.scoped(sc.reg.CounterFunc(name, help, sc.mergeLabels(extra), fn), name, extra)
 }
 
-// GaugeFunc registers a pull gauge under the scope's labels.
+// GaugeFunc registers a pull gauge under the scope's labels (folding
+// past the label budget like CounterFunc).
 func (sc *RunScope) GaugeFunc(name, help string, extra map[string]string, fn func() float64) *Metric {
+	if sc.overBudget(name) {
+		m := sc.overflowFor(name, help, KindGauge)
+		m.reads = append(m.reads, fn)
+		m.folded++
+		return m
+	}
 	return sc.scoped(sc.reg.GaugeFunc(name, help, sc.mergeLabels(extra), fn), name, extra)
 }
 
-// Histogram registers a histogram under the scope's labels.
+// Histogram registers a histogram under the scope's labels. Past the
+// label budget the histogram folds into the overflow series, whose
+// exported buckets are the merge of every folded source.
 func (sc *RunScope) Histogram(name, help string, extra map[string]string, h *metrics.Histogram) *Metric {
+	if sc.overBudget(name) {
+		m := sc.overflowFor(name, help, KindHistogram)
+		m.srcHists = append(m.srcHists, h)
+		m.folded++
+		return m
+	}
 	return sc.scoped(sc.reg.Histogram(name, help, sc.mergeLabels(extra), h), name, extra)
 }
 
@@ -196,6 +238,10 @@ func (sc *RunScope) RecordResults(duration float64, requests, errors uint64,
 // RecordFaults attaches a fault campaign's recovery summary.
 func (sc *RunScope) RecordFaults(fs FaultSummary) { sc.rec.Faults = &fs }
 
+// RecordAlerts attaches the SLO engine's fired alerts (already in
+// deterministic fire order).
+func (sc *RunScope) RecordAlerts(alerts []Alert) { sc.rec.Alerts = alerts }
+
 // RecordSimEvents attaches the simulator's dispatched-event count for
 // this run (callers diff Env.Events() across the run).
 func (sc *RunScope) RecordSimEvents(n uint64) { sc.rec.SimEvents = n }
@@ -215,6 +261,17 @@ type SeriesEntry struct {
 	Digest Digest            `json:"digest"`
 }
 
+// ExemplarEntry is one histogram bucket's exemplar in the report: the
+// link from a latency bucket to a kept (head-sampled) trace ID.
+type ExemplarEntry struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Le      string            `json:"le"`
+	Value   float64           `json:"value"`
+	TraceID string            `json:"trace_id"`
+	At      float64           `json:"at_sec"`
+}
+
 // SimPerf is the wall-clock performance of the simulator itself over
 // one harness invocation. It is measured, not simulated — two same-seed
 // runs report different SimPerf — so BuildReport never fills it; only
@@ -232,15 +289,16 @@ type SimPerf struct {
 // Report is the machine-readable record of one harness invocation:
 // what ran, with which knobs, and every number the run produced.
 type Report struct {
-	Schema  string            `json:"schema"`
-	Name    string            `json:"name"`
-	Seed    uint64            `json:"seed"`
-	Quick   bool              `json:"quick"`
-	Config  map[string]string `json:"config,omitempty"`
-	Runs    []*RunRecord      `json:"runs"`
-	Finals  []MetricFinal     `json:"counters"`
-	Series  []SeriesEntry     `json:"series,omitempty"`
-	SimPerf *SimPerf          `json:"sim_perf,omitempty"`
+	Schema    string            `json:"schema"`
+	Name      string            `json:"name"`
+	Seed      uint64            `json:"seed"`
+	Quick     bool              `json:"quick"`
+	Config    map[string]string `json:"config,omitempty"`
+	Runs      []*RunRecord      `json:"runs"`
+	Finals    []MetricFinal     `json:"counters"`
+	Series    []SeriesEntry     `json:"series,omitempty"`
+	Exemplars []ExemplarEntry   `json:"exemplars,omitempty"`
+	SimPerf   *SimPerf          `json:"sim_perf,omitempty"`
 }
 
 // BuildReport assembles the report from everything the registry has
@@ -263,6 +321,13 @@ func (r *Registry) BuildReport(name string, seed uint64, quick bool, config map[
 		if m.series != nil {
 			rep.Series = append(rep.Series, SeriesEntry{
 				Name: m.name, Labels: m.labels.Map(), Digest: m.series.Digest(),
+			})
+		}
+		for _, le := range m.ExemplarBounds() {
+			ex, _ := m.ExemplarFor(le)
+			rep.Exemplars = append(rep.Exemplars, ExemplarEntry{
+				Name: m.name, Labels: m.labels.Map(), Le: omLe(le),
+				Value: ex.Value, TraceID: FormatTraceID(ex.TraceID), At: ex.At,
 			})
 		}
 	}

@@ -113,6 +113,15 @@ type Metric struct {
 	hist  *metrics.Histogram
 
 	series *Series
+
+	// Exemplars: bucket boundary → latest exemplar (histograms only).
+	exemplars map[float64]Exemplar
+
+	// Overflow series state (see budget.go): the pull callbacks and
+	// source histograms of every registration folded past the budget.
+	reads    []func() float64
+	srcHists []*metrics.Histogram
+	folded   int
 }
 
 // Name returns the metric name.
@@ -177,6 +186,12 @@ type Registry struct {
 	// SampleInterval is the sim-clock sampling cadence used by run
 	// scopes (default 100 µs of virtual time).
 	SampleInterval float64
+	// LabelBudget bounds the distinct series a run scope may register
+	// per metric name; registrations past the budget fold into one
+	// overflow="other" series (0 = unlimited; see budget.go).
+	LabelBudget int
+
+	rollups []rollupRule
 
 	runs   []*RunRecord
 	runSeq map[string]int
@@ -238,10 +253,12 @@ func (r *Registry) Lookup(name string, labels LabelSet) *Metric {
 	return r.index[name+labels.String()]
 }
 
-// Metrics returns every registered metric sorted by (name, labels) —
-// the canonical export order.
+// Metrics returns every registered metric plus the materialized
+// roll-up families, sorted by (name, labels) — the canonical export
+// order.
 func (r *Registry) Metrics() []*Metric {
 	out := append([]*Metric(nil), r.metrics...)
+	out = append(out, r.materializeRollups()...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].name != out[j].name {
 			return out[i].name < out[j].name

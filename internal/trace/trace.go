@@ -55,6 +55,14 @@ type Tracer struct {
 	leaked  uint64
 
 	hists map[string]*metrics.Histogram
+
+	// Head sampling (see sampling.go). sampleSome is false until
+	// SetSampling configures a rate below 1, keeping the default path
+	// — sample everything — a single branch.
+	sampleRate float64
+	sampleSeed uint64
+	sampleSome bool
+	keptTail   uint64
 }
 
 type spanKey struct {
