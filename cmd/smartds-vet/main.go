@@ -1,9 +1,17 @@
 // Command smartds-vet is the determinism multichecker: it runs the
 // detcheck analyzers (wallclock, randsrc, maporder, simspawn,
-// floatacc) over the module and exits nonzero on any finding. The
+// floatacc, hotalloc, simblock, lockorder, errdrop, mutexcopy,
+// finalizer) over the module and exits nonzero on any finding. The
 // analyzers mechanically enforce the invariants behind the simulator's
 // "whole experiments replay bit-for-bit" guarantee; see the
 // "Determinism invariants" section of DESIGN.md.
+//
+// In the standalone mode the driver type-checks the whole package set
+// and builds one interprocedural call graph over it (framework
+// BuildCallGraph); the hotalloc/simblock/lockorder/errdrop analyzers
+// consume it through Pass.CallGraph / Pass.Summaries. The go vet
+// -vettool unit protocol sees one package at a time, so those
+// analyzers are no-ops there; CI runs the standalone mode.
 //
 // Usage:
 //
@@ -11,12 +19,15 @@
 //	go run ./cmd/smartds-vet ./internal/sim # one package
 //	go run ./cmd/smartds-vet -maporder=false ./...
 //	go run ./cmd/smartds-vet -randsrc.allow=internal/rng,internal/foo ./...
+//	go run ./cmd/smartds-vet -waiver-audit ./...
 //
 // Each analyzer can be disabled with -<name>=false and configured via
 // -<name>.<flag> options; allowlists live in these flag defaults, not
 // in CI YAML. Individual findings are waived in code with a
 // `//detcheck:<name> <reason>` comment on the flagged line or the line
-// above it.
+// above it. With -waiver-audit the driver additionally fails on rotten
+// waivers: directives naming no known analyzer, and directives that no
+// longer suppress any finding.
 //
 // The binary also answers the `go vet -vettool` version handshake
 // (-V=full), but the supported entry point is running it directly with
@@ -37,22 +48,36 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/disagg/smartds/internal/analysis/errdrop"
+	"github.com/disagg/smartds/internal/analysis/finalizer"
 	"github.com/disagg/smartds/internal/analysis/floatacc"
 	"github.com/disagg/smartds/internal/analysis/framework"
+	"github.com/disagg/smartds/internal/analysis/hotalloc"
 	"github.com/disagg/smartds/internal/analysis/load"
+	"github.com/disagg/smartds/internal/analysis/lockorder"
 	"github.com/disagg/smartds/internal/analysis/maporder"
+	"github.com/disagg/smartds/internal/analysis/mutexcopy"
 	"github.com/disagg/smartds/internal/analysis/randsrc"
+	"github.com/disagg/smartds/internal/analysis/simblock"
 	"github.com/disagg/smartds/internal/analysis/simspawn"
 	"github.com/disagg/smartds/internal/analysis/wallclock"
 )
 
-// analyzers is the detcheck suite, in reporting order.
+// analyzers is the detcheck suite, in reporting order: the five
+// per-package checks, then the interprocedural layer, then the
+// concurrency-hygiene pair.
 var analyzers = []*framework.Analyzer{
 	wallclock.Analyzer,
 	randsrc.Analyzer,
 	maporder.Analyzer,
 	simspawn.Analyzer,
 	floatacc.Analyzer,
+	hotalloc.Analyzer,
+	simblock.Analyzer,
+	lockorder.Analyzer,
+	errdrop.Analyzer,
+	mutexcopy.Analyzer,
+	finalizer.Analyzer,
 }
 
 func main() {
@@ -70,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("smartds-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	versionFlag := fs.String("V", "", "print version and exit (go vet -vettool handshake)")
+	auditFlag := fs.Bool("waiver-audit", false,
+		"fail on rotten //detcheck: directives (unknown waiver keys, waivers that no longer suppress anything)")
 	enabled := map[string]*bool{}
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer\n"+a.Doc)
@@ -121,6 +148,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The interprocedural layer: one call graph over the whole loaded
+	// package set, one fact store and one waiver audit shared by every
+	// pass of the run.
+	var units []framework.Unit
+	for _, pkg := range pkgs {
+		units = append(units, framework.Unit{
+			Fset: pkg.Fset, Files: pkg.Files, PkgPath: pkg.PkgPath,
+			Pkg: pkg.Types, Info: pkg.Info,
+		})
+	}
+	cg := framework.BuildCallGraph(units)
+	sums := framework.NewSummaries(cg)
+	audit := framework.NewWaiverAudit()
+
 	exit := 0
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
@@ -134,6 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			pass := newPass(a, pkg.Fset, pkg.Files, pkg.PkgPath, pkg.Types, pkg.Info,
 				func(d diagnostic) { diags = append(diags, d) })
+			pass.CallGraph, pass.Summaries, pass.Audit = cg, sums, audit
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(stderr, "smartds-vet: %s: %s: %v\n", a.Name, pkg.PkgPath, err)
 				exit = 2
@@ -158,7 +200,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if *auditFlag {
+		if auditWaivers(pkgs, enabled, audit, cwd, stdout) && exit == 0 {
+			exit = 1
+		}
+	}
 	return exit
+}
+
+// auditWaivers checks every //detcheck: directive of the run against
+// the suppression hits the analyzers recorded. A directive whose key
+// no analyzer owns is a typo; a directive owned by an enabled analyzer
+// that suppressed nothing is rot — both fail the build so waivers
+// cannot silently outlive the code they blessed. Keys of disabled
+// analyzers are skipped: they could not have fired this run.
+func auditWaivers(pkgs []*load.Package, enabled map[string]*bool,
+	audit *framework.WaiverAudit, cwd string, stdout io.Writer) bool {
+	owner := map[string]string{}
+	var known []string
+	for _, a := range analyzers {
+		for _, k := range a.WaiverKeys() {
+			owner[k] = a.Name
+			known = append(known, k)
+		}
+	}
+	sort.Strings(known)
+	bad := false
+	for _, pkg := range pkgs {
+		for _, d := range framework.Directives(pkg.Fset, pkg.Files) {
+			o, ok := owner[d.Name]
+			if !ok {
+				fmt.Fprintf(stdout, "%s:%d: waiver-audit: unknown waiver key %q (known keys: %s)\n",
+					relTo(cwd, d.File), d.Line, d.Name, strings.Join(known, ", "))
+				bad = true
+				continue
+			}
+			if !*enabled[o] {
+				continue
+			}
+			if !audit.Used(d) {
+				fmt.Fprintf(stdout, "%s:%d: waiver-audit: //detcheck:%s suppresses no finding; remove the stale waiver or fix its placement\n",
+					relTo(cwd, d.File), d.Line, d.Name)
+				bad = true
+			}
+		}
+	}
+	return bad
 }
 
 type diagnostic struct {

@@ -5,3 +5,10 @@ import "time"
 
 // Stamp leaks the host clock into simulation code.
 func Stamp() int64 { return time.Now().UnixNano() }
+
+// Banner stamps host-facing startup output; the value never reaches
+// the simulation, so the waiver below is legitimate — and, unlike the
+// ones in testdata/audit, it suppresses a real finding.
+func Banner() int64 {
+	return time.Now().Unix() //detcheck:wallclock host-facing banner outside replay
+}

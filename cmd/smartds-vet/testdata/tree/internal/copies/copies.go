@@ -1,0 +1,15 @@
+// Package copies violates mutexcopy: a lock-containing struct passed
+// by value.
+package copies
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies table — and its mutex — by value.
+func Snapshot(t table) int {
+	return t.n
+}

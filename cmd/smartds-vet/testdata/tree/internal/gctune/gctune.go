@@ -1,0 +1,10 @@
+// Package gctune violates the finalizer invariant: a forced
+// collection in simulation code.
+package gctune
+
+import "runtime"
+
+// Tune forces a collection in host time.
+func Tune() {
+	runtime.GC()
+}

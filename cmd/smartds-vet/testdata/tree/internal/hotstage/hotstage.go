@@ -1,0 +1,37 @@
+// Package hotstage violates the hot-path invariants across a package
+// boundary: its roots are minted by registrations against the tree's
+// internal/sim package, so these findings only exist if the driver
+// builds one call graph over the whole package set.
+package hotstage
+
+import (
+	"os"
+
+	"github.com/disagg/smartds/cmd/smartds-vet/testdata/tree/internal/sim"
+)
+
+var buf []int
+var sink interface{}
+
+// stage is on the declared zero-alloc contract.
+//
+//hot:per-message stage, zero-alloc contract
+func stage(v int) {
+	buf = append(buf, v)
+}
+
+// Register wires the callbacks into the event loop.
+func Register(e *sim.Env) {
+	e.At(1, onTimer)
+	e.Go("pump", pump)
+}
+
+func onTimer() {
+	stage(2)
+	sink = 42
+}
+
+func pump(p *sim.Proc) {
+	f, _ := os.Open("/dev/null")
+	_ = f
+}

@@ -1,0 +1,28 @@
+// Package locks violates lock ordering: AB orders a→b, BA composes
+// b→a through acquireA, and only the whole-program acquisition graph
+// sees the cycle.
+package locks
+
+import "sync"
+
+var a, b sync.Mutex
+
+// AB nests b under a.
+func AB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+// BA holds b across a call that takes a.
+func BA() {
+	b.Lock()
+	defer b.Unlock()
+	acquireA()
+}
+
+func acquireA() {
+	a.Lock()
+	a.Unlock()
+}

@@ -1,0 +1,20 @@
+// Package sim is the miniature simulator core for the driver's
+// end-to-end tree: its registration surface mints the hotalloc /
+// simblock roots used by the packages that import it, proving the
+// call-graph layer works across package boundaries.
+package sim
+
+// Env is the registration surface of the event loop.
+type Env struct{}
+
+// At registers fn at virtual time t.
+func (e *Env) At(t float64, fn func()) {}
+
+// After registers fn dt after now.
+func (e *Env) After(dt float64, fn func()) {}
+
+// Go spawns a simulated process.
+func (e *Env) Go(name string, fn func(p *Proc)) {}
+
+// Proc is a simulated process handle.
+type Proc struct{}

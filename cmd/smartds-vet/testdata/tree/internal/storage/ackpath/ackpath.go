@@ -1,0 +1,19 @@
+// Package ackpath violates the errdrop invariant: it sits under
+// internal/storage and drops the error of a callee that can fail.
+package ackpath
+
+import "errors"
+
+var errShort = errors.New("short write")
+
+func flush(n int) error {
+	if n == 0 {
+		return errShort
+	}
+	return nil
+}
+
+// Ack acknowledges without knowing whether flush made it durable.
+func Ack() {
+	flush(1)
+}

@@ -30,14 +30,14 @@ import (
 // vetConfig is the subset of the go command's per-package vet config
 // this tool consumes.
 type vetConfig struct {
-	ID         string
-	Compiler   string
-	Dir        string
-	ImportPath string
-	GoFiles    []string
-	ImportMap  map[string]string
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
 	PackageFile map[string]string
-	Standard   map[string]bool
+	Standard    map[string]bool
 
 	VetxOnly   bool
 	VetxOutput string

@@ -1,0 +1,15 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdrop.Analyzer,
+		"example.com/internal/storage/errbad",
+		"example.com/internal/util",
+	)
+}

@@ -1,0 +1,38 @@
+// Firing fixture for errdrop: the package sits under internal/storage
+// (in the default enforcement scope). Discards of may-fail calls
+// report; discards of provably-nil-returning helpers (directly or one
+// hop removed), handled errors, and waived lines do not.
+package errbad
+
+import "errors"
+
+var errFull = errors.New("device full")
+
+func mayFail(b bool) error {
+	if b {
+		return errFull
+	}
+	return nil
+}
+
+func alwaysNil() error { return nil }
+
+func wrapsNil() error { return alwaysNil() }
+
+func pair() (int, error) { return 1, errFull }
+
+func ack() {
+	mayFail(true)       // want `error result of errbad\.mayFail is silently discarded`
+	_ = mayFail(false)  // want `error result of errbad\.mayFail is silently discarded`
+	go mayFail(true)    // want `errbad\.mayFail \(goroutine\) is silently discarded`
+	defer mayFail(true) // want `deferred errbad\.mayFail is silently discarded`
+	alwaysNil()         // provably nil on every path: no finding
+	wrapsNil()          // provably nil through one hop: no finding
+	v, _ := pair()      // want `error result of errbad\.pair is silently discarded`
+	_ = v
+	//detcheck:errdrop best-effort stats flush, loss is acceptable here
+	mayFail(true)
+	if err := mayFail(true); err != nil {
+		_ = err.Error()
+	}
+}

@@ -1,0 +1,15 @@
+// Non-firing fixture for errdrop: identical discards, but the
+// package is outside the ack/durability scope.
+package util
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func mayFail() error { return errBoom }
+
+func sweep() {
+	mayFail()
+	_ = mayFail()
+	defer mayFail()
+}

@@ -1,0 +1,15 @@
+package finalizer_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/finalizer"
+)
+
+func TestFinalizer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), finalizer.Analyzer,
+		"example.com/internal/gcfiddle",
+		"example.com/x/internal/sim",
+	)
+}

@@ -1,0 +1,7 @@
+// Non-firing fixture for finalizer: the sim core is exempt — pinning
+// GOMAXPROCS for the run harness is its prerogative.
+package sim
+
+import "runtime"
+
+func pin() { runtime.GOMAXPROCS(1) }

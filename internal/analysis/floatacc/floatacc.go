@@ -22,7 +22,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "floatacc",
 	Doc: "flag ==/!= between floating-point expressions in internal/ packages; " +
 		"use an epsilon, integer units, or annotate intentional exact checks with //detcheck:floateq",
-	Run: run,
+	WaiverNames: []string{"floateq"},
+	Run:         run,
 }
 
 var (

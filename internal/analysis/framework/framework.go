@@ -36,8 +36,24 @@ type Analyzer struct {
 	// them with a "<name>." prefix.
 	Flags flag.FlagSet
 
+	// WaiverNames lists the `//detcheck:<name>` keys this analyzer
+	// honors; empty means exactly {Name}. Analyzers with historical or
+	// per-finding-kind keys (maporder→ordered, floatacc→floateq,
+	// simspawn→spawn) declare them here so the waiver audit knows the
+	// full vocabulary.
+	WaiverNames []string
+
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+}
+
+// WaiverKeys returns the waiver vocabulary: WaiverNames, defaulting
+// to the analyzer name.
+func (a *Analyzer) WaiverKeys() []string {
+	if len(a.WaiverNames) > 0 {
+		return a.WaiverNames
+	}
+	return []string{a.Name}
 }
 
 // String returns the analyzer's name.
@@ -70,6 +86,19 @@ type Pass struct {
 
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// CallGraph and Summaries carry the interprocedural layer: the
+	// package-set call graph and the shared whole-program fact store.
+	// Both are nil in drivers that analyze a single compilation unit
+	// (the go vet -vettool .cfg protocol); interprocedural analyzers
+	// degrade to a no-op there and rely on the standalone driver,
+	// which CI runs over the whole tree.
+	CallGraph *CallGraph
+	Summaries *Summaries
+
+	// Audit, when set, records which waiver directives actually
+	// suppressed findings (the -waiver-audit satellite).
+	Audit *WaiverAudit
 
 	directives map[directiveKey]bool
 }
@@ -112,13 +141,21 @@ func (p *Pass) buildDirectives() {
 // Suppressed reports whether a `//detcheck:<name>` directive covers the
 // given position: the directive may sit on the same line (trailing
 // comment) or on the line immediately above the flagged construct.
+// When an Audit is attached, a matching directive is recorded as used.
 func (p *Pass) Suppressed(name string, pos token.Pos) bool {
 	if p.directives == nil {
 		p.buildDirectives()
 	}
 	at := p.Fset.Position(pos)
-	return p.directives[directiveKey{at.Filename, at.Line, name}] ||
-		p.directives[directiveKey{at.Filename, at.Line - 1, name}]
+	for _, line := range []int{at.Line, at.Line - 1} {
+		if p.directives[directiveKey{at.Filename, line, name}] {
+			if p.Audit != nil {
+				p.Audit.markUsed(at.Filename, line, name)
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // TypeOf returns the type of an expression, or nil when unknown (for
@@ -168,6 +205,17 @@ func PathHasSegment(path, segment string) bool {
 		}
 	}
 	return false
+}
+
+// PathHasSegments reports whether slash-separated path contains the
+// given multi-segment subsequence on segment boundaries (e.g.
+// "a/internal/storage/ssd" contains "internal/storage" but
+// "a/internal/storagex" does not).
+func PathHasSegments(path, sub string) bool {
+	return path == sub ||
+		strings.HasPrefix(path, sub+"/") ||
+		strings.HasSuffix(path, "/"+sub) ||
+		strings.Contains(path, "/"+sub+"/")
 }
 
 // PathHasSuffixSegments reports whether path ends in the given

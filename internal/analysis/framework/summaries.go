@@ -1,0 +1,37 @@
+// Summaries: the per-function fact store the interprocedural
+// analyzers share. An interprocedural analyzer runs once over the
+// whole package set (computing reachability or propagating
+// per-function facts bottom-up over the SCC order) and then reports
+// its findings package by package as the driver hands it passes; the
+// Summaries memoizes that whole-program result so it is computed
+// exactly once per run.
+package framework
+
+// Summaries carries memoized whole-program analysis results keyed by
+// analyzer. It is shared by every Pass of one driver run.
+type Summaries struct {
+	cg      *CallGraph
+	results map[string]interface{}
+}
+
+// NewSummaries returns an empty store over the given call graph.
+func NewSummaries(cg *CallGraph) *Summaries {
+	return &Summaries{cg: cg, results: map[string]interface{}{}}
+}
+
+// CallGraph returns the underlying call graph.
+func (s *Summaries) CallGraph() *CallGraph { return s.cg }
+
+// Program returns the memoized whole-program result for key,
+// computing it on first use. Analyzers use their name as the key; the
+// compute function sees the shared call graph and typically walks
+// every defined node once (forward reachability from roots) or the
+// SCC order bottom-up (summary propagation).
+func (s *Summaries) Program(key string, compute func(*CallGraph) interface{}) interface{} {
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	r := compute(s.cg)
+	s.results[key] = r
+	return r
+}

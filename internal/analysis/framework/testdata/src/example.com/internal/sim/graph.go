@@ -1,0 +1,49 @@
+// Package sim is the call-graph golden-test fixture: a miniature of
+// the simulator core exercising every edge kind (static, closure,
+// interface, dynamic) and every root role (//hot annotation, timer
+// callback, process body). The package path ends in internal/sim so
+// the Env registration methods are recognized.
+package sim
+
+// Env mimics the simulator environment's registration surface.
+type Env struct{}
+
+// At registers a timer callback.
+func (e *Env) At(t float64, fn func()) {}
+
+// Go spawns a process body.
+func (e *Env) Go(name string, fn func(p *Proc)) {}
+
+// Proc mimics a simulated process handle.
+type Proc struct{}
+
+type store interface{ Put(k int) }
+
+type mem struct{}
+
+func (m *mem) Put(k int) { alloc() }
+
+type disk struct{}
+
+func (d *disk) Put(k int) {}
+
+//hot:annotated root
+func dispatch(e *Env) {
+	helper()
+	e.At(1, onTimer)
+	e.At(2, func() { helper() })
+	e.Go("w", worker)
+	var s store = &mem{}
+	s.Put(1)
+	cb := helper
+	cb()
+	func() { helper() }()
+}
+
+func onTimer() {}
+
+func worker(p *Proc) {}
+
+func helper() {}
+
+func alloc() {}

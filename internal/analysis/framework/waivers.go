@@ -1,0 +1,77 @@
+// Waiver audit: `//detcheck:<name>` directives are deliberate,
+// reviewable suppressions — and like all suppressions they rot. A
+// directive naming an analyzer that does not exist, or one that no
+// longer suppresses any finding, silently blesses nothing (or worse,
+// the wrong thing). The audit collects every directive and every
+// suppression hit across a run, so the driver can fail on unknown and
+// never-firing waivers.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //detcheck: comment.
+type Directive struct {
+	// Name is the waiver key (an analyzer's waiver name, e.g.
+	// "wallclock", "ordered", "floateq").
+	Name string
+	// Reason is the justification text after the key ("" when absent).
+	Reason string
+	// Pos is the comment position.
+	Pos token.Pos
+	// File and Line locate the directive for audit bookkeeping.
+	File string
+	Line int
+}
+
+// Directives parses every //detcheck: comment in the files.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "detcheck:") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "detcheck:")
+				name, reason := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, reason = rest[:i], strings.TrimSpace(rest[i:])
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					Name: name, Reason: reason, Pos: c.Pos(),
+					File: pos.Filename, Line: pos.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WaiverAudit accumulates suppression hits across every pass of a
+// driver run. Pass.Suppressed records into it when attached.
+type WaiverAudit struct {
+	used map[directiveKey]bool
+}
+
+// NewWaiverAudit returns an empty audit.
+func NewWaiverAudit() *WaiverAudit {
+	return &WaiverAudit{used: map[directiveKey]bool{}}
+}
+
+// markUsed records that the directive at (file, line) with the given
+// name suppressed a finding.
+func (w *WaiverAudit) markUsed(file string, line int, name string) {
+	w.used[directiveKey{file, line, name}] = true
+}
+
+// Used reports whether the directive suppressed at least one finding
+// during the run.
+func (w *WaiverAudit) Used(d Directive) bool {
+	return w.used[directiveKey{d.File, d.Line, d.Name}]
+}

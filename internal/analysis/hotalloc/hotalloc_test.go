@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer,
+		"example.com/hot/internal/sim",
+		"example.com/hot/cold",
+	)
+}

@@ -1,0 +1,22 @@
+// Non-firing fixture for hotalloc: the same allocating constructs as
+// the firing fixture, but no //hot annotation and no simulator
+// registration — nothing is reachable from a root, so nothing is
+// reported.
+package cold
+
+type thing struct{ k int }
+
+var sink interface{}
+
+func build(buf []int) interface{} {
+	s := []int{1, 2}
+	m := map[string]int{"a": 1}
+	buf = append(buf, len(s)+len(m))
+	x := &thing{k: 1}
+	n := 7
+	cb := func() { n++ }
+	cb()
+	sink = n
+	_ = x
+	return s
+}

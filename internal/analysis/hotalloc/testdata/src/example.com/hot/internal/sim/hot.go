@@ -1,0 +1,82 @@
+// Firing fixture for hotalloc: the package path ends in internal/sim
+// so Env.At registrations mint timer-callback roots, and dispatch is
+// annotated //hot. Every allocating construct below carries a want;
+// the non-firing cases (captureless closure, pointer boxing, constant
+// concatenation, waived make, non-root functions) carry none.
+package sim
+
+import "strconv"
+
+// Env mimics the simulator environment's registration surface.
+type Env struct{}
+
+// At registers a timer callback.
+func (e *Env) At(t float64, fn func()) {}
+
+// Go spawns a process body.
+func (e *Env) Go(name string, fn func(p *Proc)) {}
+
+// Proc mimics a simulated process handle.
+type Proc struct{}
+
+type item struct{ k, v int }
+
+var pool []*item
+var sink interface{}
+var label string
+
+//hot:per-event dispatch entry, zero-alloc contract
+func dispatch(e *Env, buf []int, it *item) {
+	helper(it)
+	s := []int{1, 2}                 // want `slice literal allocates`
+	m := map[string]int{"a": 1}      // want `map literal allocates`
+	buf = append(buf, len(s)+len(m)) // want `append may grow`
+	x := &item{k: 1}                 // want `&sim.item literal allocates`
+	pool = append(pool, x)           // want `append may grow`
+	n := 7
+	cb := func() { n++ } // want `closure capturing enclosing variables allocates`
+	cb()
+	cb2 := func() { helper(nil) } // captureless: func value is static, no alloc
+	cb2()
+	sink = n                // want `interface boxing of int`
+	var any interface{} = s // want `interface boxing of \[\]int`
+	_ = any
+	sink = x // pointer-shaped: fits the interface word, no alloc
+	//detcheck:hotalloc scratch is pooled, refill amortized over the run
+	waived := make([]int, 0, 8)
+	_ = waived
+}
+
+func helper(it *item) interface{} {
+	b := []byte("xy")       // want `conversion string → \[\]byte allocates`
+	_ = string(b)           // want `conversion \[\]byte → string allocates`
+	_ = label + "x"         // want `string concatenation allocates`
+	_ = label + "/" + label // want `string concatenation allocates`
+	_ = "a" + "b"           // constant-folded: no alloc
+	go tick()               // want `go statement allocates a goroutine`
+	audit(7)                // cold callee: propagation stops at the boundary
+	return 3                // want `interface boxing of int`
+}
+
+// audit is rare-path bookkeeping; its allocations are tolerated.
+//
+//cold:invariant-violation bookkeeping, fires at most once per run
+func audit(n int) {
+	sink = n
+	_ = map[int]int{n: n}
+}
+
+func setup(e *Env) {
+	e.At(1, tick)
+	e.Go("w", worker)
+	cold := map[int]int{} // setup is not hot and not a callback: no finding
+	_ = cold
+}
+
+func tick() {
+	_ = strconv.Itoa(9) // want `strconv.Itoa allocates`
+}
+
+func worker(p *Proc) {
+	_ = []int{1, 2, 3} // proc bodies are simblock's concern, not hotalloc's
+}

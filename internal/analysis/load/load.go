@@ -175,6 +175,9 @@ func (l *Loader) DirAs(dir, pkgPath string) ([]*Package, error) {
 		if ignoredByBuildConstraint(f) {
 			continue
 		}
+		if err := rejectCgo(l.Fset, f); err != nil {
+			return nil, err
+		}
 		pkg := f.Name.Name
 		byName[pkg] = append(byName[pkg], f)
 	}
@@ -192,6 +195,20 @@ func (l *Loader) DirAs(dir, pkgPath string) ([]*Package, error) {
 		out = append(out, l.check(dir, path, byName[n]))
 	}
 	return out, nil
+}
+
+// rejectCgo turns a cgo file into an explicit, actionable error. The
+// source importer cannot type-check import "C" (there is no Go source
+// for it), which would otherwise surface as a cascade of confusing
+// type errors; determinism analysis of C-calling code is out of scope.
+func rejectCgo(fset *token.FileSet, f *ast.File) error {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"C"` {
+			return fmt.Errorf(`load: %s: cgo is not supported (import "C"); exclude the file with a build constraint`,
+				fset.Position(imp.Pos()).Filename)
+		}
+	}
+	return nil
 }
 
 // ignoredByBuildConstraint reports whether the file opts out of the

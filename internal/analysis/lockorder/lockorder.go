@@ -1,0 +1,416 @@
+// Package lockorder builds a whole-program mutex acquisition-order
+// graph and reports cycles. Each function gets a summary — the lock
+// classes it acquires locally and the lock set held at each outgoing
+// call — and the summaries are propagated bottom-up over the SCC
+// order, so "g locks B then calls h, h locks A" composes with
+// "f locks A then B" into the A→B→A cycle even though no single
+// function sees both orders.
+//
+// A lock class is an abstraction of "which mutex": package-level
+// mutex variables are classes of their own (pkg.var), mutex fields
+// are classed per type and field (pkg.Type.field), so two instances
+// of the same struct share a class. That is deliberately coarse: a
+// hand-over-hand traversal that locks two shards of one type in a
+// stable order is reported and must carry a //detcheck:lockorder
+// waiver explaining the real ordering invariant.
+//
+// The walk is flow-insensitive within a function (source order
+// approximates acquisition order; deferred unlocks mean held-to-end)
+// — sound enough for this codebase, where lock scopes are lexical.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/disagg/smartds/internal/analysis/framework"
+)
+
+// Analyzer is the lock-ordering check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "build the whole-program mutex acquisition graph from per-function summaries " +
+		"and report lock-order cycles (potential deadlocks)",
+	Run: run,
+}
+
+type finding struct {
+	pkg string
+	pos token.Pos
+	msg string
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Summaries == nil || pass.CallGraph == nil {
+		return nil // unit mode: the standalone driver covers this in CI
+	}
+	findings := pass.Summaries.Program("lockorder", compute).([]finding)
+	for _, f := range findings {
+		if f.pkg != pass.PkgPath {
+			continue
+		}
+		if pass.Suppressed("lockorder", f.pos) {
+			continue
+		}
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}
+
+// summary is the per-function lock behavior.
+type summary struct {
+	// acquires are the classes locked anywhere in the body.
+	acquires map[string]bool
+	// pairs are direct ordered acquisitions: held h when acquiring c.
+	pairs []orderedPair
+	// heldAtCall maps a call position to the lock set held there.
+	heldAtCall map[token.Pos][]string
+}
+
+type orderedPair struct {
+	first, second string
+	pos           token.Pos
+	pkg           string
+}
+
+func compute(cg *framework.CallGraph) interface{} {
+	// Phase 1: local summaries.
+	sums := map[*framework.FuncNode]*summary{}
+	for _, n := range cg.Nodes() {
+		if n.Defined() && !n.InTestFile {
+			sums[n] = localSummary(n)
+		}
+	}
+
+	// Phase 2: propagate transitively acquired classes bottom-up.
+	// Within an SCC every member gets the component's union.
+	transAcq := map[*framework.FuncNode]map[string]bool{}
+	for _, comp := range cg.SCCs() {
+		union := map[string]bool{}
+		for _, n := range comp {
+			s := sums[n]
+			if s == nil {
+				continue
+			}
+			for c := range s.acquires {
+				union[c] = true
+			}
+			for _, e := range n.Out {
+				if e.Kind == framework.EdgeDynamic {
+					continue
+				}
+				for c := range transAcq[e.Callee] {
+					union[c] = true
+				}
+			}
+		}
+		for _, n := range comp {
+			transAcq[n] = union
+		}
+	}
+
+	// Phase 3: the class order graph. Edges from local pairs and from
+	// calls made while holding a lock into functions that (transitively)
+	// acquire more.
+	type edgeKey struct{ first, second string }
+	edgePos := map[edgeKey]orderedPair{}
+	addPair := func(p orderedPair) {
+		k := edgeKey{p.first, p.second}
+		if _, ok := edgePos[k]; !ok {
+			edgePos[k] = p
+		}
+	}
+	for _, n := range cg.Nodes() {
+		s := sums[n]
+		if s == nil {
+			continue
+		}
+		for _, p := range s.pairs {
+			addPair(p)
+		}
+		for _, e := range n.Out {
+			if e.Kind == framework.EdgeDynamic {
+				continue
+			}
+			held := s.heldAtCall[e.Pos]
+			if len(held) == 0 {
+				continue
+			}
+			for c := range transAcq[e.Callee] {
+				for _, h := range held {
+					addPair(orderedPair{first: h, second: c, pos: e.Pos, pkg: n.PkgPath})
+				}
+			}
+		}
+	}
+
+	// Phase 4: cycles = SCCs of the class graph with >1 node, plus
+	// self-edges (recursive re-acquisition of a non-reentrant mutex).
+	adj := map[string][]string{}
+	var classes []string
+	seen := map[string]bool{}
+	note := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for k := range edgePos {
+		note(k.first)
+		note(k.second)
+		adj[k.first] = append(adj[k.first], k.second)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		sort.Strings(adj[c])
+	}
+	comp := classSCCs(classes, adj)
+
+	var out []finding
+	reportKeys := make([]edgeKey, 0, len(edgePos))
+	for k := range edgePos {
+		reportKeys = append(reportKeys, k)
+	}
+	sort.Slice(reportKeys, func(i, j int) bool {
+		if reportKeys[i].first != reportKeys[j].first {
+			return reportKeys[i].first < reportKeys[j].first
+		}
+		return reportKeys[i].second < reportKeys[j].second
+	})
+	for _, k := range reportKeys {
+		p := edgePos[k]
+		if k.first == k.second {
+			out = append(out, finding{
+				pkg: p.pkg, pos: p.pos,
+				msg: fmt.Sprintf("acquiring %s while already holding it (self-deadlock on a non-reentrant mutex)", k.first),
+			})
+			continue
+		}
+		if comp[k.first] != comp[k.second] {
+			continue // edge not inside a cycle
+		}
+		cycle := cycleMembers(comp, comp[k.first], classes)
+		out = append(out, finding{
+			pkg: p.pkg, pos: p.pos,
+			msg: fmt.Sprintf("acquiring %s while holding %s participates in a lock-order cycle {%s}",
+				k.second, k.first, strings.Join(cycle, ", ")),
+		})
+	}
+	return out
+}
+
+// cycleMembers lists the classes of one component in sorted order.
+func cycleMembers(comp map[string]int, id int, classes []string) []string {
+	var out []string
+	for _, c := range classes {
+		if comp[c] == id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// classSCCs computes strongly connected components of the class graph
+// (iterative Tarjan over sorted string nodes). Singleton components
+// without a self-edge never count as cycles because the caller checks
+// component membership of real edges only.
+func classSCCs(classes []string, adj map[string][]string) map[string]int {
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, ncomp := 0, 0
+
+	type frame struct {
+		n  string
+		ei int
+	}
+	for _, start := range classes {
+		if _, ok := index[start]; ok {
+			continue
+		}
+		work := []frame{{n: start}}
+		index[start], lowlink[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.ei < len(adj[f.n]) {
+				m := adj[f.n][f.ei]
+				f.ei++
+				if _, ok := index[m]; !ok {
+					index[m], lowlink[m] = next, next
+					next++
+					stack = append(stack, m)
+					onStack[m] = true
+					work = append(work, frame{n: m})
+				} else if onStack[m] && index[m] < lowlink[f.n] {
+					lowlink[f.n] = index[m]
+				}
+				continue
+			}
+			n := f.n
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].n
+				if lowlink[n] < lowlink[p] {
+					lowlink[p] = lowlink[n]
+				}
+			}
+			if lowlink[n] == index[n] {
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					comp[m] = ncomp
+					if m == n {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}
+
+// localSummary walks one body in source order tracking the held set.
+func localSummary(n *framework.FuncNode) *summary {
+	s := &summary{
+		acquires:   map[string]bool{},
+		heldAtCall: map[token.Pos][]string{},
+	}
+	body := n.Body()
+	if body == nil || n.Info == nil {
+		return s
+	}
+	info := n.Info
+	var held []string
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // separate node
+		case *ast.DeferStmt:
+			// Deferred unlocks keep the lock held to function end; the
+			// held set is unchanged. Other deferred calls are still
+			// calls — record the held set for them.
+			if _, op, ok := lockOp(info, x.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				return false
+			}
+			s.heldAtCall[x.Call.Pos()] = append([]string(nil), held...)
+			return true
+		case *ast.CallExpr:
+			if class, op, ok := lockOp(info, x); ok {
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range held {
+						s.pairs = append(s.pairs, orderedPair{first: h, second: class, pos: x.Pos(), pkg: n.PkgPath})
+					}
+					held = append(held, class)
+					s.acquires[class] = true
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == class {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			s.heldAtCall[x.Pos()] = append([]string(nil), held...)
+		}
+		return true
+	})
+	return s
+}
+
+// lockOp recognizes mu.Lock()/Unlock()/RLock()/RUnlock() on
+// sync.Mutex / sync.RWMutex and returns the lock class and operation.
+func lockOp(info *types.Info, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	fn, _ := s.Obj().(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	return lockClass(info, sel.X), fn.Name(), true
+}
+
+// lockClass abstracts the receiver expression of a lock operation to
+// a stable class name.
+func lockClass(info *types.Info, x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		// y.mu → Type-of-y.mu: per-type-per-field class.
+		if t := namedOf(info.TypeOf(x.X)); t != nil {
+			return typeName(t) + "." + x.Sel.Name
+		}
+		return "?." + x.Sel.Name
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		if v, isVar := obj.(*types.Var); isVar {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				// Package-level mutex variable.
+				if v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+				return v.Name()
+			}
+			// Local or receiver: class by its (struct) type when it
+			// embeds the mutex, else by declaration site.
+			if t := namedOf(v.Type()); t != nil && typeName(t) != "sync.Mutex" && typeName(t) != "sync.RWMutex" {
+				return typeName(t) + ".(embedded)"
+			}
+			if v.Pkg() != nil {
+				return v.Pkg().Path() + ".local." + v.Name()
+			}
+			return "local." + v.Name()
+		}
+	case *ast.StarExpr:
+		return lockClass(info, x.X)
+	}
+	if t := namedOf(info.TypeOf(x)); t != nil {
+		return typeName(t)
+	}
+	return "?"
+}
+
+// namedOf unwraps pointers to the named type underneath, nil if none.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+func typeName(n *types.Named) string {
+	if n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer,
+		"example.com/lockbad",
+		"example.com/lockok",
+	)
+}

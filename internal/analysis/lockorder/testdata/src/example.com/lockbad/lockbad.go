@@ -1,0 +1,36 @@
+// Firing fixture for lockorder: f orders a→b, g→h composes b→a
+// interprocedurally, so {a, b} is a cycle; relock re-acquires the
+// same class while holding it.
+package lockbad
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+
+func f() {
+	a.Lock()
+	b.Lock() // want `acquiring .*lockbad\.b while holding .*lockbad\.a participates in a lock-order cycle`
+	b.Unlock()
+	a.Unlock()
+}
+
+func g() {
+	b.Lock()
+	defer b.Unlock()
+	h() // want `acquiring .*lockbad\.a while holding .*lockbad\.b participates in a lock-order cycle`
+}
+
+func h() {
+	a.Lock()
+	a.Unlock()
+}
+
+type shard struct{ mu sync.Mutex }
+
+func relock(s *shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquiring .*shard\.mu while already holding it`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,28 @@
+// Non-firing fixture for lockorder: every path agrees on the a→b
+// order (including the interprocedural one), sequential non-nested
+// scopes impose no order at all, and RWMutex read locks follow the
+// same consistent order.
+package lockok
+
+import "sync"
+
+var a sync.Mutex
+var b sync.RWMutex
+
+func f() {
+	a.Lock()
+	defer a.Unlock()
+	g()
+}
+
+func g() {
+	b.RLock()
+	defer b.RUnlock()
+}
+
+func sequential() {
+	a.Lock()
+	a.Unlock()
+	b.Lock()
+	b.Unlock()
+}

@@ -28,7 +28,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "maporder",
 	Doc: "flag map iteration whose body emits to ordered sinks (slice appends, tables, " +
 		"trace, printers) or selects into outer variables without sorting keys first",
-	Run: run,
+	WaiverNames: []string{"ordered"},
+	Run:         run,
 }
 
 var sinkMethods string

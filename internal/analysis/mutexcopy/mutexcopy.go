@@ -1,0 +1,159 @@
+// Package mutexcopy forbids copying values that contain sync
+// primitives (a copylocks-lite for internal/ packages). A copied
+// Mutex/WaitGroup/Once forks its state: both copies think they own
+// the lock, and the resulting corruption shows up as a
+// once-in-a-thousand-runs hang — exactly the class of bug a
+// deterministic simulator exists to rule out.
+package mutexcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/disagg/smartds/internal/analysis/framework"
+)
+
+// Analyzer is the lock-copy check.
+var Analyzer = &framework.Analyzer{
+	Name: "mutexcopy",
+	Doc: "forbid copying values containing sync primitives (Mutex, RWMutex, WaitGroup, " +
+		"Cond, Once, Pool, Map) by value in internal/ packages",
+	Run: run,
+}
+
+var scope string
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "internal",
+		"only packages whose import path contains this segment are checked")
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSegment(pass.PkgPath, scope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncDecl:
+				checkFuncType(pass, x.Recv, x.Type)
+			case *ast.FuncLit:
+				checkFuncType(pass, nil, x.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) {
+						break
+					}
+					checkValueCopy(pass, rhs, "assignment")
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					checkRangeCopy(pass, x.Value)
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range x.Args {
+					checkValueCopy(pass, arg, "call argument")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncType flags by-value receivers, parameters and results of
+// lock-containing types.
+func checkFuncType(pass *framework.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ft.Params, ft.Results}
+	labels := []string{"receiver", "parameter", "result"}
+	for li, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if name, bad := lockInside(t); bad {
+				if pass.Suppressed("mutexcopy", field.Pos()) {
+					continue
+				}
+				pass.Reportf(field.Pos(),
+					"by-value %s copies %s; pass a pointer", labels[li], name)
+			}
+		}
+	}
+}
+
+// checkValueCopy flags reads of existing lock-containing values
+// (dereferences, field selections, variables). Fresh composite
+// literals are construction, not copies.
+func checkValueCopy(pass *framework.Pass, e ast.Expr, what string) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if name, bad := lockInside(t); bad {
+		if pass.Suppressed("mutexcopy", e.Pos()) {
+			return
+		}
+		pass.Reportf(e.Pos(), "%s copies %s by value; pass a pointer", what, name)
+	}
+}
+
+func checkRangeCopy(pass *framework.Pass, v ast.Expr) {
+	t := pass.TypeOf(v)
+	if t == nil {
+		return
+	}
+	if name, bad := lockInside(t); bad {
+		if pass.Suppressed("mutexcopy", v.Pos()) {
+			return
+		}
+		pass.Reportf(v.Pos(), "range value copies %s per iteration; range over indexes or pointers", name)
+	}
+}
+
+// lockInside reports whether t contains a sync primitive by value and
+// names the innermost one found.
+func lockInside(t types.Type) (string, bool) {
+	return lockInsideRec(t, map[types.Type]bool{})
+}
+
+func lockInsideRec(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+				return "sync." + obj.Name(), true
+			}
+		}
+		return lockInsideRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name, bad := lockInsideRec(t.Field(i).Type(), seen); bad {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return lockInsideRec(t.Elem(), seen)
+	}
+	return "", false
+}

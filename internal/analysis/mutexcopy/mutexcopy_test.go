@@ -1,0 +1,15 @@
+package mutexcopy_test
+
+import (
+	"testing"
+
+	"github.com/disagg/smartds/internal/analysis/analysistest"
+	"github.com/disagg/smartds/internal/analysis/mutexcopy"
+)
+
+func TestMutexcopy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mutexcopy.Analyzer,
+		"example.com/internal/mcopy",
+		"example.com/app",
+	)
+}

@@ -1,0 +1,18 @@
+// Non-firing fixture for mutexcopy: same copies, but the package is
+// outside the internal/ scope (host-facing tooling may shuttle config
+// structs however it likes).
+package app
+
+import "sync"
+
+type cfg struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(c cfg) int { return c.n }
+
+func snapshot(c *cfg) {
+	cp := *c
+	_ = cp.n
+}

@@ -1,0 +1,47 @@
+// Firing fixture for mutexcopy: every way a lock-containing value is
+// copied (receiver, parameter, result, assignment, call argument,
+// range value). Construction of fresh values and pointer plumbing is
+// fine.
+package mcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `by-value parameter copies sync\.Mutex`
+	return g.n
+}
+
+func (g guarded) read() int { // want `by-value receiver copies sync\.Mutex`
+	return g.n
+}
+
+func produce() guarded { // want `by-value result copies sync\.Mutex`
+	return guarded{}
+}
+
+func snapshot(g *guarded) {
+	cp := *g // want `assignment copies sync\.Mutex by value`
+	_ = cp.n
+	use(*g) // want `call argument copies sync\.Mutex by value`
+}
+
+func use(g guarded) int { // want `by-value parameter copies sync\.Mutex`
+	return g.n
+}
+
+func iterate(gs []guarded) {
+	for _, g := range gs { // want `range value copies sync\.Mutex per iteration`
+		_ = g.n
+	}
+}
+
+func fresh() *guarded {
+	g := guarded{}
+	return &g
+}
+
+func ptr(g *guarded) *guarded { return g }

@@ -1,0 +1,27 @@
+// Non-firing fixture for simblock: with the default exemption
+// (internal/sim), the simulator core's own handoff primitives — the
+// one sanctioned place that really blocks — are not reported.
+package sim
+
+import "time"
+
+// Env mimics the simulator environment's registration surface.
+type Env struct{}
+
+// Go spawns a process body.
+func (e *Env) Go(name string, fn func(p *Proc)) {}
+
+// Proc mimics a simulated process handle.
+type Proc struct{}
+
+var handoff = make(chan struct{}, 1)
+
+func setup(e *Env) {
+	e.Go("w", worker)
+}
+
+func worker(p *Proc) {
+	<-handoff
+	handoff <- struct{}{}
+	time.Sleep(time.Microsecond)
+}

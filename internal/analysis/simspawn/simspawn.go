@@ -23,7 +23,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "simspawn",
 	Doc: "forbid bare go statements and raw channel operations in simulation packages; " +
 		"spawn processes with Env.Go and synchronize through Proc parking",
-	Run: run,
+	WaiverNames: []string{"spawn"},
+	Run:         run,
 }
 
 var scope, exempt string

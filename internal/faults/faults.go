@@ -137,7 +137,9 @@ func (inj *Injector) armLoss(ls *lossSet, e Event, r *rng.Source) error {
 			&lossRule{start: e.Start, end: e.End(), src: set, model: model},
 			&lossRule{start: e.Start, end: e.End(), dst: set, model: model})
 	}
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.Start, func() { inj.emit(e.Start, "loss-start", e) })
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.End(), func() { inj.emit(e.End(), "loss-end", e) })
 	return nil
 }
@@ -156,11 +158,13 @@ func (inj *Injector) armCrash(ls *lossSet, e Event) error {
 	ls.rules = append(ls.rules,
 		&lossRule{start: e.Start, end: e.End(), src: set, model: blockAll{}},
 		&lossRule{start: e.Start, end: e.End(), dst: set, model: blockAll{}})
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.Start, func() {
 		inj.emit(e.Start, "crash", e)
 		inj.tgt.MT.SetServerDown(idx, true)
 		srv.Crash()
 	})
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.End(), func() {
 		srv.Recover()
 		inj.tgt.MT.ReconnectStorage(idx, srv)
@@ -192,6 +196,7 @@ func (inj *Injector) armDegrade(e Event) error {
 		}
 	}
 	orig := make([]float64, len(ports))
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.Start, func() {
 		inj.emit(e.Start, "degrade-start", e)
 		for i, p := range ports {
@@ -199,6 +204,7 @@ func (inj *Injector) armDegrade(e Event) error {
 			p.SetRate(orig[i] * e.Param)
 		}
 	})
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.End(), func() {
 		for i, p := range ports {
 			p.SetRate(orig[i])
@@ -224,12 +230,14 @@ func (inj *Injector) armEngine(e Event) error {
 	default:
 		return fmt.Errorf("engine faults target the middle tier (mt or mtN), got %q", e.Target)
 	}
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.Start, func() {
 		inj.emit(e.Start, "engine-down", e)
 		for _, i := range engines {
 			inj.tgt.MT.SetEngineDown(i, true)
 		}
 	})
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.End(), func() {
 		for _, i := range engines {
 			inj.tgt.MT.SetEngineDown(i, false)
@@ -252,7 +260,9 @@ func (inj *Injector) armRestart(ls *lossSet, e Event) error {
 	ls.rules = append(ls.rules,
 		&lossRule{start: e.Start, end: e.End(), src: set, model: blockAll{}},
 		&lossRule{start: e.Start, end: e.End(), dst: set, model: blockAll{}})
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.Start, func() { inj.emit(e.Start, "restart", e) })
+	//cold fault bookkeeping: rare event, logging allocation tolerated
 	inj.tgt.Env.At(e.End(), func() {
 		if inj.tgt.Reconnect != nil {
 			inj.tgt.Reconnect()

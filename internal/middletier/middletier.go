@@ -380,6 +380,7 @@ func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
 			CompressBytesPerSec: 0.6e9, SMTPairBytesPerSec: 0.8e9}
 		s.bf2Pool = host.NewPool(env, armCfg)
 		for i := 0; i < 8; i++ {
+			//detcheck:errdrop fresh pool sized for these claims; cannot fail at construction
 			c, _ := s.bf2Pool.Claim()
 			s.bf2Cores = append(s.bf2Cores, c)
 		}
@@ -625,7 +626,13 @@ func (s *Server) sendMaintenance(hdr blockstore.Header, idx int, size float64) {
 		// any host-sourced payload, then leaves via port 0.
 		hbuf := s.sds.HostAlloc(blockstore.HeaderSize)
 		copy(hbuf.Bytes(), msg)
-		inst, _ := s.sds.OpenRoCEInstance(0)
+		inst, err := s.sds.OpenRoCEInstance(0)
+		if err != nil {
+			// Engine 0 is down (fault injection): drop the maintenance
+			// send rather than dereference a nil instance; the rebuild
+			// protocol retries on its own cadence.
+			return
+		}
 		// Host-resident payload: charge the PCIe crossing explicitly by
 		// sending it as part of the assembled message's host half.
 		big := s.sds.HostAlloc(int(total))

@@ -61,6 +61,7 @@ type calendar struct {
 func (c *calendar) len() int { return len(c.items) }
 
 func (c *calendar) push(it *item) {
+	//detcheck:hotalloc amortized heap growth; capacity is retained across pops
 	c.items = append(c.items, it)
 	c.siftUp(len(c.items)-1, it)
 }
@@ -178,6 +179,7 @@ func (l *lane) grow() {
 	if nc == 0 {
 		nc = 64
 	}
+	//detcheck:hotalloc amortized doubling; grow is off the per-event path
 	nb := make([]*item, nc)
 	for i := 0; i < l.n; i++ {
 		nb[i] = l.buf[(l.head+i)&(len(l.buf)-1)]

@@ -55,11 +55,14 @@ func (e *Env) Events() uint64 { return e.events }
 // newItem takes a pooled (or fresh) calendar entry stamped with the
 // next seq. Scheduling in the past or at NaN panics: NaN compares
 // false against everything and would silently corrupt the heap order.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) newItem(t Time) *item {
 	if math.IsNaN(t) {
 		panic("sim: scheduling at NaN time")
 	}
 	if t < e.now {
+		//detcheck:hotalloc panic path: the run is already dead, formatting is free
 		panic(fmt.Sprintf("sim: scheduling in the past: %g < %g", t, e.now))
 	}
 	e.seq++
@@ -69,6 +72,7 @@ func (e *Env) newItem(t Time) *item {
 		e.freeItems[n-1] = nil
 		e.freeItems = e.freeItems[:n-1]
 	} else {
+		//detcheck:hotalloc pool miss: warmup-only, steady state recycles via freeItems
 		it = &item{}
 	}
 	it.t = t
@@ -80,15 +84,20 @@ func (e *Env) newItem(t Time) *item {
 
 // release returns a fired or cancelled item to the pool. The item
 // keeps its seq until reuse, so stale Timers recognize it.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) release(it *item) {
 	it.fn = nil
 	it.proc = nil
 	it.idx = freeIdx
+	//detcheck:hotalloc free-list growth mirrors the pool-miss warmup; steady state reuses capacity
 	e.freeItems = append(e.freeItems, it)
 }
 
 // enqueue files the item: entries at exactly the current instant take
 // the FIFO fast lane, everything else goes through the heap.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) enqueue(it *item) {
 	if it.t == e.now { //detcheck:floateq same-instant entries take the O(1) fast lane; (t,seq) order is unchanged
 		e.ln.push(it)
@@ -99,6 +108,8 @@ func (e *Env) enqueue(it *item) {
 
 // schedule posts fn to run at time t. It returns the calendar entry so
 // callers can cancel it.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) schedule(t Time, fn func()) *item {
 	it := e.newItem(t)
 	it.fn = fn
@@ -109,6 +120,8 @@ func (e *Env) schedule(t Time, fn func()) *item {
 // scheduleWake posts a conditional process resume at time t without
 // allocating a closure: the proc runs iff its park generation still
 // matches tk when the entry fires.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) scheduleWake(t Time, tk wakeToken) *item {
 	it := e.newItem(t)
 	it.proc = tk.p
@@ -131,11 +144,15 @@ func (e *Env) timerFor(it *item) Timer { return Timer{env: e, it: it, seq: it.se
 
 // After schedules fn to run after d seconds of virtual time and returns
 // a cancellable Timer.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) After(d float64, fn func()) Timer {
 	return e.timerFor(e.schedule(e.now+d, fn))
 }
 
 // At schedules fn at absolute virtual time t.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) At(t Time, fn func()) Timer {
 	return e.timerFor(e.schedule(t, fn))
 }
@@ -151,6 +168,8 @@ func (e *Env) wakeAt(t Time, tk wakeToken) Timer {
 // and skipped when its instant drains. Cancelling an already-fired,
 // already-cancelled, or zero Timer is a no-op — the seq stamp detects
 // items that were recycled for a later schedule.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (t Timer) Cancel() {
 	it := t.it
 	if it == nil || it.seq != t.seq || it.cancelled {
@@ -170,6 +189,8 @@ func (t Timer) Cancel() {
 // next pops the earliest live calendar entry, nil when the calendar is
 // empty. The lane is globally (t, seq)-sorted, so comparing its head
 // against the heap root preserves the total dispatch order.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) next() *item {
 	for {
 		var it *item
@@ -198,6 +219,8 @@ func (e *Env) next() *item {
 // fire dispatches one live entry and recycles it. The item is released
 // before the callback runs — the callback may immediately reschedule
 // and reuse it.
+//
+//hot:per-event scheduler spine, pinned by TestTimerChurnZeroAllocs
 func (e *Env) fire(it *item) {
 	e.live--
 	e.events++

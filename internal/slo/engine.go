@@ -139,6 +139,8 @@ func (e *Engine) Run(stop float64) {
 
 // tick closes the grid cell for every objective and fires rising-edge
 // alerts whose burn rate trips both windows.
+//
+//cold:epoch-scale alert evaluation; alert formatting allocates by design
 func (e *Engine) tick() {
 	now := e.env.Now()
 	for _, st := range e.states {

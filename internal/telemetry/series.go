@@ -140,6 +140,8 @@ func (s *Sampler) Run(stop float64) {
 }
 
 // sampleOnce appends one reading per metric at the current instant.
+//
+//cold:periodic sampling; series growth is amortized and off the data path
 func (s *Sampler) sampleOnce() {
 	now := s.env.Now()
 	s.samples++

@@ -53,6 +53,8 @@ func mix64(x uint64) uint64 {
 
 // Sampled reports the head-sampling decision for a correlation id.
 // Deterministic: depends only on (seed, id, rate).
+//
+//hot:per-request sampling gate, pinned by TestUnsampledPathZeroAllocs
 func (t *Tracer) Sampled(id uint64) bool {
 	if t == nil {
 		return false
@@ -74,6 +76,8 @@ func (t *Tracer) Sampled(id uint64) bool {
 // map touch, no ring append — and at the default rate (>= 1) this is
 // the identity, so full-sampling runs stay byte-identical to the
 // pre-sampling tracer.
+//
+//hot:per-request sampling gate, pinned by TestUnsampledPathZeroAllocs
 func (t *Tracer) ForRequest(id uint64) *Tracer {
 	if t == nil {
 		return nil
