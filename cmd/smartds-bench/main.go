@@ -87,6 +87,7 @@ func main() {
 	opt := experiments.Options{Quick: *quick, Seed: common.Seed, Breakdown: common.Breakdown,
 		FaultSpec: common.FaultSpec, Replication: proto, SLO: specs}
 	opt.Trace = common.NewTracer(false)
+	opt.CritpathFolded = common.NewFolded()
 	opt.Telemetry = common.NewRegistry()
 	// The event-log clock must follow whichever cluster is currently
 	// running; experiments swap the active env in as they build them.
@@ -120,6 +121,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", common.TraceFile)
+	}
+	if common.FoldedFile != "" {
+		if err := writeFile(common.FoldedFile, opt.CritpathFolded.Write); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "critical-path folded stacks written to %s\n", common.FoldedFile)
 	}
 	if common.ReportFile != "" {
 		rep := opt.Telemetry.BuildReport(*exp, common.Seed, *quick, map[string]string{

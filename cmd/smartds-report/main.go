@@ -25,6 +25,7 @@ import (
 func main() {
 	baseline := flag.String("baseline", "", "baseline report path (alternative to the first positional argument)")
 	show := flag.Bool("show", false, "print a single report's runs without comparing")
+	blame := flag.Bool("blame", false, "print a single report's latency blame profiles (per-stage critical-path attribution) with p999 exemplar drill-downs")
 	sloGate := flag.Bool("slo", false, "SLO gate: print a single report's fired alerts and exit non-zero when any run fired one")
 	g := telemetry.DefaultGate()
 	flag.Float64Var(&g.MaxThroughputDrop, "max-tput-drop", g.MaxThroughputDrop,
@@ -50,6 +51,17 @@ func main() {
 			fatal(err)
 		}
 		sloExit(rep)
+		return
+	}
+	if *blame {
+		if len(args) != 1 {
+			usage("-blame takes exactly one report path")
+		}
+		rep, err := telemetry.LoadReport(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		printBlame(rep)
 		return
 	}
 	if *show {
@@ -123,6 +135,53 @@ func sloExit(rep *telemetry.Report) {
 	fmt.Fprintf(os.Stderr, "SLO gate FAILED: %d alerts fired\n", fired)
 	os.Exit(1)
 }
+
+// printBlame renders each run's critical-path blame profile: the
+// fraction of client-observed latency attributed to every stage at the
+// mean and at the tail exemplars, then the p999 exemplar's segment
+// list — the "why is p999 high?" answer in one screen.
+func printBlame(rep *telemetry.Report) {
+	printed := 0
+	for _, rr := range rep.Runs {
+		cp := rr.Critpath
+		if cp == nil {
+			continue
+		}
+		printed++
+		tbl := metrics.NewTable(
+			fmt.Sprintf("latency blame %s (%s, %d sampled requests)", rr.Key(), rr.Protocol, cp.Requests),
+			"stage", "kind", "mean%", "p99%", "p999%", "mean")
+		for _, st := range cp.Stages {
+			kind := "service"
+			if st.Wait {
+				kind = "wait"
+			}
+			tbl.AddRow(st.Stage, kind,
+				pct(st.MeanFrac), pct(st.P99Frac), pct(st.P999Frac),
+				metrics.FormatDuration(st.MeanSec))
+		}
+		fmt.Println(tbl.String())
+		if ex := cp.P999; ex != nil {
+			etbl := metrics.NewTable(
+				fmt.Sprintf("p999 exemplar %s (trace %s, e2e %s)", rr.Key(), ex.TraceID, metrics.FormatDuration(ex.E2E)),
+				"segment", "kind", "dur", "share")
+			for _, seg := range ex.Segments {
+				kind := "service"
+				if seg.Wait {
+					kind = "wait"
+				}
+				etbl.AddRow(seg.Stage, kind, metrics.FormatDuration(seg.Dur), pct(seg.Frac))
+			}
+			fmt.Println(etbl.String())
+		}
+	}
+	if printed == 0 {
+		fmt.Fprintln(os.Stderr, "no critpath sections in this report (run with tracing enabled, e.g. -trace-sample 0.01 -report ...)")
+	}
+}
+
+// pct renders a fraction as a percentage cell.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
 
 // printReport renders one report's run records as a table.
 func printReport(rep *telemetry.Report) {

@@ -119,6 +119,8 @@ func main() {
 
 	tracer := common.NewTracer(common.Breakdown)
 	cfg.Trace = tracer
+	folded := common.NewFolded()
+	cfg.CritpathFolded = folded
 	reg := common.NewRegistry()
 	cfg.Telemetry = reg
 	cfg.TelemetryExp = "sim"
@@ -205,6 +207,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (%d span leaks)\n", common.TraceFile, tracer.Leaked())
+	}
+	if common.FoldedFile != "" {
+		if err := writeFile(common.FoldedFile, folded.Write); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "critical-path folded stacks written to %s\n", common.FoldedFile)
 	}
 	if reg != nil {
 		if common.ReportFile != "" {

@@ -99,9 +99,78 @@ func render(w io.Writer, reportPath, seriesPath string, topK int) error {
 	fmt.Fprintln(w, runs.String())
 
 	renderAlerts(w, rep)
+	renderBlame(w, rep)
 	renderTop(w, rep, series, topK)
 	renderExemplars(w, rep)
 	return nil
+}
+
+// renderBlame prints each run's latency blame panel: the top stages of
+// the critical-path attribution with a bar per mean share, then the
+// p999 exemplar's segment drill-down. Skipped entirely for reports
+// recorded without tracing.
+func renderBlame(w io.Writer, rep *telemetry.Report) {
+	any := false
+	for _, rr := range rep.Runs {
+		if rr.Critpath != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	tbl := metrics.NewTable("latency blame (critical-path share of client latency)",
+		"run", "stage", "kind", "mean%", "p999%", "share")
+	const maxStages = 4
+	for _, rr := range rep.Runs {
+		cp := rr.Critpath
+		if cp == nil {
+			continue
+		}
+		for i, st := range cp.Stages {
+			if i >= maxStages {
+				break
+			}
+			kind := "service"
+			if st.Wait {
+				kind = "wait"
+			}
+			tbl.AddRow(rr.Key(), st.Stage, kind,
+				fmt.Sprintf("%.1f%%", st.MeanFrac*100),
+				fmt.Sprintf("%.1f%%", st.P999Frac*100),
+				shareBar(st.MeanFrac, 12))
+		}
+	}
+	fmt.Fprintln(w, tbl.String())
+
+	ex := metrics.NewTable("p999 exemplars (worst sampled request per run)",
+		"run", "trace", "e2e", "critical path")
+	for _, rr := range rep.Runs {
+		cp := rr.Critpath
+		if cp == nil || cp.P999 == nil {
+			continue
+		}
+		var b strings.Builder
+		for i, seg := range cp.P999.Segments {
+			if i > 0 {
+				b.WriteString(" → ")
+			}
+			fmt.Fprintf(&b, "%s %.0f%%", seg.Stage, seg.Frac*100)
+		}
+		ex.AddRow(rr.Key(), cp.P999.TraceID,
+			metrics.FormatDuration(cp.P999.E2E), b.String())
+	}
+	fmt.Fprintln(w, ex.String())
+}
+
+// shareBar renders a 0..1 fraction as a fixed-width bar.
+func shareBar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
 }
 
 // renderAlerts prints the fired-alert section (always present, so a

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"io"
 
+	"github.com/disagg/smartds/internal/critpath"
 	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/middletier"
 	"github.com/disagg/smartds/internal/slo"
@@ -22,6 +23,7 @@ type Common struct {
 	Seed        uint64
 	TraceFile   string
 	TraceSample float64
+	FoldedFile  string
 	Breakdown   bool
 	FaultSpec   string
 	Replication string
@@ -42,6 +44,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.Uint64Var(&c.Seed, "seed", 42, "root random seed")
 	fs.StringVar(&c.TraceFile, "trace", "", "write a Chrome trace-event JSON file (view in Perfetto / chrome://tracing)")
 	fs.Float64Var(&c.TraceSample, "trace-sample", 1, "head-sampling rate for trace spans in [0,1]; errors and p999 outliers are kept regardless")
+	fs.StringVar(&c.FoldedFile, "critpath-folded", "", "write per-request critical-path blame as folded stacks (flamegraph.pl / speedscope input) to this file; implies tracing")
 	fs.BoolVar(&c.Breakdown, "breakdown", false, "print per-stage latency attribution tables")
 	fs.StringVar(&c.FaultSpec, "faults", "", "fault campaign spec (kind:target@start+duration[:param];... — see internal/faults)")
 	fs.StringVar(&c.Replication, "replication", "primary", "replication protocol: primary | chain | quorum")
@@ -68,12 +71,22 @@ func (c *Common) SLO() ([]slo.Spec, error) {
 	return slo.Parse(c.SLOSpec)
 }
 
-// NewTracer builds the tracer implied by the flags: nil when neither
-// -trace nor a caller-side need (e.g. -breakdown) wants one, otherwise
+// NewFolded builds the folded-stack accumulator implied by
+// -critpath-folded (nil when unset).
+func (c *Common) NewFolded() *critpath.Folded {
+	if c.FoldedFile == "" {
+		return nil
+	}
+	return critpath.NewFolded()
+}
+
+// NewTracer builds the tracer implied by the flags: nil when none of
+// -trace, -critpath-folded, or a caller-side need (e.g. -breakdown)
+// wants one, otherwise
 // a tracer with -trace-sample head sampling applied (seeded by -seed so
 // the kept-span set is deterministic).
 func (c *Common) NewTracer(need bool) *trace.Tracer {
-	if c.TraceFile == "" && !need {
+	if c.TraceFile == "" && c.FoldedFile == "" && !need {
 		return nil
 	}
 	tr := trace.New(1 << 18)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/disagg/smartds/internal/blockstore"
 	"github.com/disagg/smartds/internal/corpus"
+	"github.com/disagg/smartds/internal/critpath"
 	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/faults"
 	"github.com/disagg/smartds/internal/lz4"
@@ -41,6 +42,10 @@ type Config struct {
 	ClientPortRate float64
 	// Trace, when set, records request lifecycle spans.
 	Trace *trace.Tracer
+	// CritpathFolded, when set (with Trace), accumulates each Run's
+	// critical-path blame as folded stacks prefixed by the design name,
+	// for flamegraph.pl / speedscope export.
+	CritpathFolded *critpath.Folded
 	// Telemetry, when set, registers this cluster's instruments with
 	// the central registry: each Run opens a run scope labeled
 	// (TelemetryExp, design, run-seq), samples every gauge/counter on

@@ -3,6 +3,7 @@ package cluster
 import (
 	"strconv"
 
+	"github.com/disagg/smartds/internal/critpath"
 	"github.com/disagg/smartds/internal/faults"
 	"github.com/disagg/smartds/internal/mem"
 	"github.com/disagg/smartds/internal/pcie"
@@ -94,6 +95,16 @@ func (c *Cluster) instrument(sc *telemetry.RunScope) {
 		nil, func() float64 { return mt.RebuildBytes })
 	sc.CounterFunc("smartds_mt_stale_acks_total", "Storage acks arriving after their fan-out completed or was abandoned.",
 		nil, func() float64 { return float64(mt.StaleAcks) })
+	// Which replica slot decided each fan-out (the straggler whose ack
+	// closed the wait): visible per replica index without tracing, so a
+	// consistently slow replica shows up in any metrics dump.
+	for ri := range mt.StragglerAcks {
+		ri := ri
+		sc.CounterFunc("smartds_mt_straggler_acks_total",
+			"Fan-out completions whose deciding (last-needed) ack came from this replica slot.",
+			map[string]string{"replica": strconv.Itoa(ri)},
+			func() float64 { return float64(mt.StragglerAcks[ri]) })
+	}
 	sc.CounterFunc("smartds_mt_read_repairs_total", "Stale replicas rewritten by quorum reads.",
 		nil, func() float64 { return float64(mt.ReadRepairs) })
 	sc.CounterFunc("smartds_mt_repair_bytes_total", "Frame bytes pushed by quorum read-repairs.",
@@ -269,6 +280,45 @@ func faultSummary(st faults.Stats) telemetry.FaultSummary {
 		})
 	}
 	return fs
+}
+
+// critpathSummary converts a blame analysis into the report's
+// layer-independent mirror (same pattern as faultSummary).
+func critpathSummary(a *critpath.Analysis) telemetry.CritpathSummary {
+	cs := telemetry.CritpathSummary{Requests: len(a.Paths)}
+	for _, sb := range a.Stages {
+		cs.Stages = append(cs.Stages, telemetry.CritpathStage{
+			Stage:    sb.Stage,
+			Wait:     sb.Wait,
+			MeanFrac: sb.MeanFrac,
+			P99Frac:  sb.P99Frac,
+			P999Frac: sb.P999Frac,
+			MeanSec:  sb.MeanSec,
+		})
+	}
+	cs.P99 = critpathExemplar(a.P99)
+	cs.P999 = critpathExemplar(a.P999)
+	return cs
+}
+
+// critpathExemplar converts one percentile exemplar path.
+func critpathExemplar(p *critpath.Path) *telemetry.CritpathExemplar {
+	if p == nil {
+		return nil
+	}
+	ex := &telemetry.CritpathExemplar{
+		TraceID: telemetry.FormatTraceID(p.Req),
+		E2E:     float64(p.E2E) * 1e-12,
+	}
+	for _, seg := range p.Segments {
+		ex.Segments = append(ex.Segments, telemetry.CritpathSegment{
+			Stage: seg.Stage,
+			Wait:  seg.Wait,
+			Dur:   float64(seg.Dur) * 1e-12,
+			Frac:  float64(seg.Dur) / float64(p.E2E),
+		})
+	}
+	return ex
 }
 
 // alertSummary converts fired SLO alerts into the report's

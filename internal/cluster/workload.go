@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"github.com/disagg/smartds/internal/blockstore"
+	"github.com/disagg/smartds/internal/critpath"
 	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/mem"
@@ -11,6 +12,7 @@ import (
 	"github.com/disagg/smartds/internal/sim"
 	"github.com/disagg/smartds/internal/slo"
 	"github.com/disagg/smartds/internal/telemetry"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // Workload drives the cluster. With Rate == 0 each client runs a
@@ -79,8 +81,11 @@ func (cl *Client) issue(w Workload) {
 	// same trace id) every middle-tier stage span.
 	tid := middletier.TraceID(uint64(cl.id), id)
 	tr := c.cfg.Trace.ForRequest(tid)
-	tr.Begin(c.Env.Now(), cl.comp, op, id)
-	tr.Begin(c.Env.Now(), "net", "request", tid)
+	// The client span is the request root: the end-to-end interval every
+	// stage span tiles in critical-path analysis. The outbound net span
+	// is its first child.
+	tr.BeginReq(c.Env.Now(), cl.comp, op, id, tid, trace.KindRoot)
+	tr.BeginReq(c.Env.Now(), "net", "request", tid, tid, trace.KindService)
 	if isRead {
 		lba := cl.writtenLBAs[cl.rng.Intn(len(cl.writtenLBAs))]
 		loc := c.geo.Resolve(lba)
@@ -164,6 +169,10 @@ func (c *Cluster) Run(w Workload) Results {
 		c.instrument(scope)
 	}
 	ev0 := c.Env.Events()
+	// Cursor into the shared trace ring: clusters in one process share a
+	// tracer (and restart virtual time at 0), so the per-run event
+	// window is delimited by record position, not by timestamps.
+	ev0trace := c.cfg.Trace.Recorded()
 
 	// Attach the SLO burn-rate engine for this run. sloHook is
 	// overwritten (not chained) every Run so engines never stack.
@@ -330,6 +339,19 @@ func (c *Cluster) Run(w Workload) Results {
 		}
 		if len(res.Alerts) > 0 {
 			scope.RecordAlerts(alertSummary(res.Alerts))
+		}
+	}
+	if c.cfg.Trace != nil && (scope != nil || c.cfg.CritpathFolded != nil) {
+		// Blame profile over this run's sampled requests: critical paths
+		// reconstructed from this run's slice of the trace ring and
+		// attributed per stage. The telemetry record gets the summary;
+		// the folded accumulator gets the stacks, grouped by design and
+		// protocol so a sweep's flamegraph stays separable.
+		if a := critpath.Analyze(c.cfg.Trace.EventsSince(ev0trace)); len(a.Paths) > 0 {
+			if scope != nil {
+				scope.RecordCritpath(critpathSummary(a))
+			}
+			c.cfg.CritpathFolded.Add(c.KindName()+":"+c.MT.ReplicatorName(), a)
 		}
 	}
 	return res

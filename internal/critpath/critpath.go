@@ -1,0 +1,420 @@
+// Package critpath reconstructs each sampled request's span DAG from
+// trace events, extracts the critical path, and aggregates latency
+// blame profiles: what fraction of client-observed latency each stage
+// is responsible for, split into service time (a component doing work)
+// and wait time (the request parked on a queue, a straggler ack, or an
+// engine slot).
+//
+// The model: every request has one root span (trace.KindRoot) — the
+// client-observed end-to-end interval — and any number of stage spans
+// linked to it by (PComp, PName) parent edges. The critical path is
+// computed by a sweep over elementary intervals: within each interval
+// the deepest active span is blamed (ties broken by label, so the
+// result is deterministic); intervals covered by no stage span are the
+// root's own time. Adjacent intervals with the same blame merge into
+// segments, and because all arithmetic is in integer picoseconds the
+// segments of one request tile its end-to-end latency exactly — the
+// sum of segment durations equals the quantized root duration, testable
+// with ==.
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/disagg/smartds/internal/trace"
+)
+
+// ps quantizes a duration in virtual seconds to integer picoseconds.
+// All blame arithmetic happens on these integers so segment sums
+// telescope exactly and same-seed profiles are byte-identical.
+func ps(sec float64) int64 { return int64(math.Round(sec * 1e12)) }
+
+// Segment is one contiguous stretch of a request's critical path,
+// blamed on a single stage.
+type Segment struct {
+	Stage string // blamed span label "comp/name"; the root label for root self-time
+	Wait  bool   // the blamed span was wait time, not service time
+	Start int64  // picoseconds after the root start
+	Dur   int64  // picoseconds
+}
+
+// Path is one request's extracted critical path. Segments are ordered
+// by start time and tile [0, E2E] exactly: sum(Dur) == E2E.
+type Path struct {
+	Req      uint64  // request DAG id (the trace id)
+	Root     string  // root span label "comp/name"
+	RootName string  // root span name ("write", "read", or a tail-keep reason)
+	Start    float64 // root start in virtual seconds
+	E2E      int64   // quantized end-to-end latency in picoseconds
+	Segments []Segment
+}
+
+// stageKey identifies one blame bucket: a span label plus its
+// wait/service classification.
+type stageKey struct {
+	Stage string
+	Wait  bool
+}
+
+// StageBlame aggregates one stage's share of critical-path time across
+// all analyzed requests.
+type StageBlame struct {
+	Stage    string
+	Wait     bool
+	TotalPS  int64   // critical-path picoseconds attributed to this stage
+	MeanFrac float64 // TotalPS / sum of all requests' E2E
+	P99Frac  float64 // this stage's share of the p99 exemplar's latency
+	P999Frac float64 // this stage's share of the p999 exemplar's latency
+	MeanSec  float64 // TotalPS / requests, in seconds
+}
+
+// Analysis is the result of reconstructing and sweeping every complete
+// request DAG in an event window.
+type Analysis struct {
+	// Paths holds one critical path per request, sorted by (E2E, Req)
+	// so percentile exemplars index deterministically.
+	Paths []Path
+	// Stages is the aggregate blame profile, sorted by TotalPS
+	// descending (ties by stage label then wait flag).
+	Stages []StageBlame
+	// TotalPS is the sum of every path's E2E.
+	TotalPS int64
+	// P99 and P999 are exemplar paths at the respective percentile of
+	// the E2E distribution (nil when Paths is empty).
+	P99, P999 *Path
+
+	// folded maps semicolon-joined stacks (root name down to the blamed
+	// frame) to total critical-path picoseconds, for flamegraph export.
+	folded map[string]int64
+}
+
+// span is one clamped, quantized stage span during the per-request sweep.
+type span struct {
+	label string
+	start int64
+	end   int64
+	depth int
+	wait  bool
+}
+
+// Analyze reconstructs request DAGs from the event window and extracts
+// each one's critical path. Only completed request-scoped spans
+// (Req != 0, Dur > 0) participate; requests without a root span (its
+// End never fired — still in flight at the window edge) are skipped.
+func Analyze(events []trace.Event) *Analysis {
+	type group struct {
+		root  *trace.Event
+		spans []trace.Event
+	}
+	groups := make(map[uint64]*group)
+	order := []uint64{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Req == 0 || ev.Counter || ev.Dur <= 0 {
+			continue
+		}
+		g := groups[ev.Req]
+		if g == nil {
+			g = &group{}
+			groups[ev.Req] = g
+			order = append(order, ev.Req)
+		}
+		if ev.Kind == trace.KindRoot {
+			if g.root == nil {
+				g.root = ev
+			}
+			continue
+		}
+		g.spans = append(g.spans, *ev)
+	}
+	// Deterministic request order regardless of map iteration: requests
+	// are visited in first-appearance order, which record order fixes.
+	a := &Analysis{folded: make(map[string]int64)}
+	for _, req := range order {
+		g := groups[req]
+		if g.root == nil {
+			continue
+		}
+		p, stacks := analyzeOne(req, g.root, g.spans)
+		if p == nil {
+			continue
+		}
+		a.Paths = append(a.Paths, *p)
+		a.TotalPS += p.E2E
+		for stack, dur := range stacks {
+			a.folded[stack] += dur
+		}
+	}
+	a.finish()
+	return a
+}
+
+// analyzeOne sweeps one request's spans into a critical path. It
+// returns the path plus per-stack picoseconds for folded export.
+func analyzeOne(req uint64, root *trace.Event, stageSpans []trace.Event) (*Path, map[string]int64) {
+	e2e := ps(root.Dur)
+	if e2e <= 0 {
+		return nil, nil
+	}
+	rootLabel := root.Component + "/" + root.Name
+
+	// Parent edges by label; depth memoized below. Spans sharing a
+	// label (per-hop chain waits) share an edge, which is consistent by
+	// construction: a label's parent is fixed at the call site.
+	parent := make(map[string]string)
+	for i := range stageSpans {
+		ev := &stageSpans[i]
+		label := ev.Component + "/" + ev.Name
+		if ev.PComp == "" && ev.PName == "" {
+			parent[label] = rootLabel
+		} else {
+			parent[label] = ev.PComp + "/" + ev.PName
+		}
+	}
+	var depthOf func(label string, seen int) int
+	depths := make(map[string]int)
+	depthOf = func(label string, seen int) int {
+		if label == rootLabel {
+			return 0
+		}
+		if d, ok := depths[label]; ok {
+			return d
+		}
+		p, ok := parent[label]
+		if !ok || seen > len(parent) { // unknown parent or a cycle: hang off the root
+			depths[label] = 1
+			return 1
+		}
+		d := 1 + depthOf(p, seen+1)
+		depths[label] = d
+		return d
+	}
+
+	// Clamp each stage span to the root interval and quantize.
+	spans := make([]span, 0, len(stageSpans))
+	for i := range stageSpans {
+		ev := &stageSpans[i]
+		s := ps(ev.At - root.At)
+		e := ps(ev.At + ev.Dur - root.At)
+		if s < 0 {
+			s = 0
+		}
+		if e > e2e {
+			e = e2e
+		}
+		if e <= s {
+			continue
+		}
+		label := ev.Component + "/" + ev.Name
+		spans = append(spans, span{
+			label: label, start: s, end: e,
+			depth: depthOf(label, 0),
+			wait:  ev.Kind == trace.KindWait,
+		})
+	}
+
+	// Elementary interval boundaries: every span edge plus the root's.
+	bounds := make([]int64, 0, 2*len(spans)+2)
+	bounds = append(bounds, 0, e2e)
+	for _, sp := range spans {
+		bounds = append(bounds, sp.start, sp.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+
+	p := &Path{Req: req, Root: rootLabel, RootName: root.Name, Start: root.At, E2E: e2e}
+	stacks := make(map[string]int64)
+	for i := 0; i+1 < len(uniq); i++ {
+		lo, hi := uniq[i], uniq[i+1]
+		// Blame the deepest span covering this interval; ties break on
+		// (label, wait) so the sweep is deterministic.
+		best := -1
+		for j := range spans {
+			sp := &spans[j]
+			if sp.start > lo || sp.end < hi {
+				continue
+			}
+			if best < 0 {
+				best = j
+				continue
+			}
+			b := &spans[best]
+			if sp.depth > b.depth ||
+				(sp.depth == b.depth && (sp.label < b.label ||
+					(sp.label == b.label && sp.wait && !b.wait))) {
+				best = j
+			}
+		}
+		// Root self-time is labeled with the root's bare name ("write",
+		// "read", a tail-keep reason) so it aggregates across clients.
+		seg := Segment{Stage: root.Name, Start: lo, Dur: hi - lo}
+		stack := p.RootName
+		if best >= 0 {
+			sp := &spans[best]
+			seg.Stage, seg.Wait = sp.label, sp.wait
+			stack = foldedStack(p.RootName, rootLabel, sp.label, parent)
+		}
+		n := len(p.Segments)
+		if n > 0 && p.Segments[n-1].Stage == seg.Stage && p.Segments[n-1].Wait == seg.Wait {
+			p.Segments[n-1].Dur += seg.Dur
+		} else {
+			p.Segments = append(p.Segments, seg)
+		}
+		stacks[stack] += seg.Dur
+	}
+	return p, stacks
+}
+
+// foldedStack joins the blamed span's ancestry root-first with ';',
+// the folded-stack separator flamegraph.pl and speedscope expect. The
+// root frame is the root span's bare name so stacks from different
+// clients collapse together.
+func foldedStack(rootName, rootLabel, label string, parent map[string]string) string {
+	frames := []string{label}
+	for hops := 0; hops <= len(parent); hops++ {
+		pl, ok := parent[label]
+		if !ok || pl == rootLabel {
+			break
+		}
+		frames = append(frames, pl)
+		label = pl
+	}
+	frames = append(frames, rootName)
+	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+	return strings.Join(frames, ";")
+}
+
+// finish sorts paths, picks percentile exemplars, and builds the
+// aggregate stage profile.
+func (a *Analysis) finish() {
+	sort.Slice(a.Paths, func(i, j int) bool {
+		if a.Paths[i].E2E != a.Paths[j].E2E {
+			return a.Paths[i].E2E < a.Paths[j].E2E
+		}
+		return a.Paths[i].Req < a.Paths[j].Req
+	})
+	n := len(a.Paths)
+	if n > 0 {
+		a.P99 = &a.Paths[(n-1)*99/100]
+		a.P999 = &a.Paths[(n-1)*999/1000]
+	}
+
+	totals := make(map[stageKey]int64)
+	for i := range a.Paths {
+		for _, seg := range a.Paths[i].Segments {
+			totals[stageKey{seg.Stage, seg.Wait}] += seg.Dur
+		}
+	}
+	keys := make([]stageKey, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ti, tj := totals[keys[i]], totals[keys[j]]
+		if ti != tj {
+			return ti > tj
+		}
+		if keys[i].Stage != keys[j].Stage {
+			return keys[i].Stage < keys[j].Stage
+		}
+		return !keys[i].Wait && keys[j].Wait
+	})
+	for _, k := range keys {
+		sb := StageBlame{Stage: k.Stage, Wait: k.Wait, TotalPS: totals[k]}
+		if a.TotalPS > 0 {
+			sb.MeanFrac = float64(sb.TotalPS) / float64(a.TotalPS)
+		}
+		if n > 0 {
+			sb.MeanSec = float64(sb.TotalPS) / float64(n) * 1e-12
+		}
+		sb.P99Frac = pathFrac(a.P99, k)
+		sb.P999Frac = pathFrac(a.P999, k)
+		a.Stages = append(a.Stages, sb)
+	}
+}
+
+// pathFrac returns the fraction of one path's latency blamed on a stage.
+func pathFrac(p *Path, k stageKey) float64 {
+	if p == nil || p.E2E <= 0 {
+		return 0
+	}
+	var sum int64
+	for _, seg := range p.Segments {
+		if seg.Stage == k.Stage && seg.Wait == k.Wait {
+			sum += seg.Dur
+		}
+	}
+	return float64(sum) / float64(p.E2E)
+}
+
+// Folded accumulates folded stacks across analyses — typically every
+// cluster run of one harness invocation — so one flamegraph can span a
+// whole sweep. A non-empty group becomes the leading frame of each
+// stack, keeping designs/protocols separable in the merged graph.
+type Folded struct {
+	stacks map[string]int64
+}
+
+// NewFolded creates an empty accumulator.
+func NewFolded() *Folded { return &Folded{stacks: make(map[string]int64)} }
+
+// Add merges one analysis's stacks, prefixed by group when non-empty.
+// Nil receivers accept and drop, so call sites need no guards.
+func (f *Folded) Add(group string, a *Analysis) {
+	if f == nil || a == nil {
+		return
+	}
+	for stack, dur := range a.folded {
+		if group != "" {
+			stack = group + ";" + stack
+		}
+		f.stacks[stack] += dur
+	}
+}
+
+// Write emits the accumulated stacks in folded format (sorted, weights
+// in nanoseconds), like Analysis.WriteFolded.
+func (f *Folded) Write(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	return writeFoldedMap(w, f.stacks)
+}
+
+// WriteFolded emits the aggregate blame profile in folded-stack format
+// (one "frame;frame;frame weight" line per stack, sorted), directly
+// consumable by flamegraph.pl or speedscope. Weights are nanoseconds
+// of critical-path time, rounded half-up so the output is integral.
+func (a *Analysis) WriteFolded(w io.Writer) error {
+	return writeFoldedMap(w, a.folded)
+}
+
+// writeFoldedMap renders a stack→picoseconds map as sorted folded lines.
+func writeFoldedMap(w io.Writer, m map[string]int64) error {
+	stacks := make([]string, 0, len(m))
+	for s := range m {
+		stacks = append(stacks, s)
+	}
+	sort.Strings(stacks)
+	for _, s := range stacks {
+		ns := (m[s] + 500) / 1000
+		if ns <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", s, ns); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package critpath
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/disagg/smartds/internal/trace"
+)
+
+// spanEv builds a completed request-scoped span event.
+func spanEv(at, dur float64, comp, name string, req uint64, pcomp, pname string, kind trace.Kind) trace.Event {
+	return trace.Event{At: at, Dur: dur, Component: comp, Name: name,
+		ID: req, Req: req, PComp: pcomp, PName: pname, Kind: kind}
+}
+
+func rootEv(at, dur float64, comp, name string, req uint64) trace.Event {
+	return trace.Event{At: at, Dur: dur, Component: comp, Name: name,
+		ID: req, Req: req, Kind: trace.KindRoot}
+}
+
+func TestSingleRequestTilesExactly(t *testing.T) {
+	// root [0,100us]; net/request [0,10us]; mt/compress [10,40us] with
+	// engine child [20,35us]; mt/replicate [40,90us] with wait child
+	// [50,85us]; net/reply [90,100us]. No gaps.
+	us := 1e-6
+	evs := []trace.Event{
+		rootEv(0, 100*us, "client0", "write", 7),
+		spanEv(0, 10*us, "net", "request", 7, "", "", trace.KindService),
+		spanEv(10*us, 30*us, "mt", "compress", 7, "", "", trace.KindService),
+		spanEv(20*us, 15*us, "mt", "compress.engine", 7, "mt", "compress", trace.KindService),
+		spanEv(40*us, 50*us, "mt", "replicate", 7, "", "", trace.KindService),
+		spanEv(50*us, 35*us, "mt", "replicate.wait", 7, "mt", "replicate", trace.KindWait),
+		spanEv(90*us, 10*us, "net", "reply", 7, "", "", trace.KindService),
+	}
+	a := Analyze(evs)
+	if len(a.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(a.Paths))
+	}
+	p := a.Paths[0]
+	var sum int64
+	for _, seg := range p.Segments {
+		sum += seg.Dur
+	}
+	if sum != p.E2E {
+		t.Fatalf("segments sum to %d ps, want exactly %d", sum, p.E2E)
+	}
+	// The deepest span wins each interval: the engine child shadows
+	// compress for [20,35], the straggler wait shadows replicate.
+	want := []Segment{
+		{Stage: "net/request", Dur: ps(10 * us)},
+		{Stage: "mt/compress", Dur: ps(10 * us)},
+		{Stage: "mt/compress.engine", Dur: ps(15 * us)},
+		{Stage: "mt/compress", Dur: ps(5 * us)},
+		{Stage: "mt/replicate", Dur: ps(10 * us)},
+		{Stage: "mt/replicate.wait", Wait: true, Dur: ps(35 * us)},
+		{Stage: "mt/replicate", Dur: ps(5 * us)},
+		{Stage: "net/reply", Dur: ps(10 * us)},
+	}
+	if len(p.Segments) != len(want) {
+		t.Fatalf("segments = %+v, want %d segments", p.Segments, len(want))
+	}
+	for i, seg := range p.Segments {
+		if seg.Stage != want[i].Stage || seg.Wait != want[i].Wait || seg.Dur != want[i].Dur {
+			t.Errorf("segment %d = %+v, want %+v", i, seg, want[i])
+		}
+	}
+}
+
+func TestGapsBlameRootSelfTime(t *testing.T) {
+	us := 1e-6
+	evs := []trace.Event{
+		rootEv(0, 30*us, "client2", "read", 9),
+		spanEv(5*us, 10*us, "mt", "fetch", 9, "", "", trace.KindService),
+	}
+	a := Analyze(evs)
+	p := a.Paths[0]
+	want := []Segment{
+		{Stage: "read", Dur: ps(5 * us)},
+		{Stage: "mt/fetch", Dur: ps(10 * us)},
+		{Stage: "read", Dur: ps(15 * us)},
+	}
+	if len(p.Segments) != len(want) {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	for i, seg := range p.Segments {
+		if seg.Stage != want[i].Stage || seg.Dur != want[i].Dur {
+			t.Errorf("segment %d = %+v, want %+v", i, seg, want[i])
+		}
+	}
+}
+
+func TestSpansClampedToRootInterval(t *testing.T) {
+	us := 1e-6
+	evs := []trace.Event{
+		rootEv(10*us, 20*us, "client0", "write", 3),
+		// Starts before the root, ends after: clamped to [10,30].
+		spanEv(5*us, 40*us, "mt", "replicate", 3, "", "", trace.KindService),
+	}
+	a := Analyze(evs)
+	p := a.Paths[0]
+	if len(p.Segments) != 1 || p.Segments[0].Dur != p.E2E {
+		t.Fatalf("segments = %+v, want one clamped segment of %d ps", p.Segments, p.E2E)
+	}
+}
+
+func TestTailKeepRootOnlyIsCompletePath(t *testing.T) {
+	// A KeepTail record is a lone root span: the path is one segment of
+	// pure root self-time labeled with the keep reason.
+	evs := []trace.Event{rootEv(1e-3, 2e-3, "tail", "error", 42)}
+	a := Analyze(evs)
+	if len(a.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(a.Paths))
+	}
+	p := a.Paths[0]
+	if len(p.Segments) != 1 || p.Segments[0].Stage != "error" || p.Segments[0].Dur != p.E2E {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+}
+
+func TestRootlessRequestSkipped(t *testing.T) {
+	evs := []trace.Event{
+		spanEv(0, 1e-6, "mt", "parse", 5, "", "", trace.KindService),
+	}
+	if a := Analyze(evs); len(a.Paths) != 0 {
+		t.Fatalf("paths = %d, want 0 (no root span)", len(a.Paths))
+	}
+}
+
+func TestPercentileExemplarsAndFractions(t *testing.T) {
+	us := 1e-6
+	var evs []trace.Event
+	// 1000 requests with latency (i+1) us; the slowest spends 90% of
+	// its time in a straggler wait.
+	for i := 0; i < 1000; i++ {
+		req := uint64(i + 1)
+		lat := float64(i+1) * us
+		evs = append(evs, rootEv(0, lat, "client0", "write", req))
+		if i == 999 {
+			evs = append(evs, spanEv(0, 0.9*lat, "mt", "replicate.wait", req, "", "", trace.KindWait))
+		}
+	}
+	a := Analyze(evs)
+	if n := len(a.Paths); n != 1000 {
+		t.Fatalf("paths = %d", n)
+	}
+	// (n-1)*999/1000 = 998 → req 999 in E2E-sorted order.
+	if a.P999 == nil || a.P999.Req != 999 {
+		t.Fatalf("p999 exemplar = %+v", a.P999)
+	}
+	if a.P99 == nil || a.P99.Req != 990 {
+		t.Fatalf("p99 exemplar = %+v", a.P99)
+	}
+	var waitBlame *StageBlame
+	for i := range a.Stages {
+		if a.Stages[i].Stage == "mt/replicate.wait" {
+			waitBlame = &a.Stages[i]
+		}
+	}
+	if waitBlame == nil {
+		t.Fatal("no replicate.wait blame entry")
+	}
+	if waitBlame.P999Frac != 0 {
+		// The p999 exemplar (req 999) has no wait span; only req 1000 does.
+		t.Errorf("p999 frac = %g, want 0", waitBlame.P999Frac)
+	}
+	if !waitBlame.Wait {
+		t.Error("replicate.wait not classified as wait time")
+	}
+	if waitBlame.MeanFrac <= 0 {
+		t.Error("mean frac should be positive")
+	}
+}
+
+func TestClusterTotalTilesAcrossRequests(t *testing.T) {
+	us := 1e-6
+	var evs []trace.Event
+	for i := 0; i < 64; i++ {
+		req := uint64(i + 1)
+		at := float64(i) * 10 * us
+		lat := float64(i%7+1) * us
+		evs = append(evs, rootEv(at, lat, "client0", "write", req))
+		evs = append(evs, spanEv(at, lat/2, "mt", "compress", req, "", "", trace.KindService))
+	}
+	a := Analyze(evs)
+	var segSum, e2eSum int64
+	for _, p := range a.Paths {
+		for _, seg := range p.Segments {
+			segSum += seg.Dur
+		}
+		e2eSum += p.E2E
+	}
+	if segSum != e2eSum || e2eSum != a.TotalPS {
+		t.Fatalf("segment sum %d, e2e sum %d, total %d — must all be equal", segSum, e2eSum, a.TotalPS)
+	}
+	var meanSum float64
+	for _, sb := range a.Stages {
+		meanSum += sb.MeanFrac
+	}
+	if math.Abs(meanSum-1) > 1e-12 {
+		t.Fatalf("mean fractions sum to %g, want 1", meanSum)
+	}
+}
+
+func TestWriteFoldedStacks(t *testing.T) {
+	us := 1e-6
+	evs := []trace.Event{
+		rootEv(0, 100*us, "client0", "write", 1),
+		spanEv(0, 40*us, "mt", "compress", 1, "", "", trace.KindService),
+		spanEv(10*us, 20*us, "mt", "compress.engine", 1, "mt", "compress", trace.KindService),
+	}
+	a := Analyze(evs)
+	var buf bytes.Buffer
+	if err := a.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"write 60000",
+		"write;mt/compress 20000",
+		"write;mt/compress;mt/compress.engine 20000",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("folded output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+// render flattens an analysis into a byte string covering the stage
+// profile, exemplars, and folded stacks.
+func render(t *testing.T, a *Analysis) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, sb := range a.Stages {
+		fmt.Fprintf(&buf, "%s wait=%t total=%d mean=%.17g p99=%.17g p999=%.17g\n",
+			sb.Stage, sb.Wait, sb.TotalPS, sb.MeanFrac, sb.P99Frac, sb.P999Frac)
+	}
+	if a.P999 != nil {
+		fmt.Fprintf(&buf, "p999 req=%d e2e=%d segs=%d\n", a.P999.Req, a.P999.E2E, len(a.P999.Segments))
+	}
+	if err := a.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestAnalyzeDeterministicAcrossRuns(t *testing.T) {
+	us := 1e-6
+	build := func() []trace.Event {
+		var evs []trace.Event
+		for i := 0; i < 128; i++ {
+			req := uint64(i + 1)
+			at := float64(i) * 3 * us
+			evs = append(evs, rootEv(at, float64(i%11+1)*us, "client0", "write", req))
+			evs = append(evs, spanEv(at, float64(i%5+1)*us/2, "mt", "replicate", req, "", "", trace.KindService))
+			if i%3 == 0 {
+				evs = append(evs, spanEv(at, float64(i%5+1)*us/4, "mt", "replicate.wait", req, "mt", "replicate", trace.KindWait))
+			}
+		}
+		return evs
+	}
+	var out [2]string
+	for r := 0; r < 2; r++ {
+		out[r] = render(t, Analyze(build()))
+	}
+	if out[0] != out[1] {
+		t.Fatalf("analysis not byte-identical across runs:\n%s\nvs\n%s", out[0], out[1])
+	}
+}

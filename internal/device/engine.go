@@ -90,8 +90,10 @@ func (e *Engine) Run(p *sim.Proc, inBytes, outBytes float64) {
 	id := e.jobID
 	// Head-sampled by job id; at full rate ForRequest is the identity.
 	tr := e.tr.ForRequest(id)
-	tr.Begin(p.Now(), e.name, "job", id)
+	t0 := p.Now()
+	tr.Begin(t0, e.name, "job", id)
 	e.slot.Acquire(p)
+	tq := p.Now()
 	inEv := e.mem.StartAccess(inBytes)
 	p.Sleep(inBytes / e.rate)
 	outEv := e.mem.StartAccess(outBytes)
@@ -99,7 +101,18 @@ func (e *Engine) Run(p *sim.Proc, inBytes, outBytes float64) {
 	e.slot.Release()
 	p.Wait(inEv)
 	p.Wait(outEv)
-	tr.End(p.Now(), e.name, "job", id)
+	end := p.Now()
+	tr.End(end, e.name, "job", id)
+	// Engine occupancy split: queue wait for the pipeline slot vs time
+	// the engine was actually moving and processing this job's bytes.
+	if tr != nil {
+		if tq > t0 {
+			tr.Span(t0, tq, e.name, "job.qwait", id, 0, e.name, "job", trace.KindWait, "")
+		}
+		if end > tq {
+			tr.Span(tq, end, e.name, "job.run", id, 0, e.name, "job", trace.KindService, "")
+		}
+	}
 }
 
 // LZ4Engine is the compression engine SmartDS instantiates per port: a

@@ -18,6 +18,7 @@ package experiments
 
 import (
 	"github.com/disagg/smartds/internal/cluster"
+	"github.com/disagg/smartds/internal/critpath"
 	"github.com/disagg/smartds/internal/evlog"
 	"github.com/disagg/smartds/internal/metrics"
 	"github.com/disagg/smartds/internal/middletier"
@@ -63,6 +64,9 @@ type Options struct {
 	// clock right after construction — the event-log clock follows the
 	// currently-running cluster through it.
 	OnCluster func(now func() float64)
+	// CritpathFolded, when set (with Trace), accumulates every run's
+	// critical-path blame as folded stacks for flamegraph export.
+	CritpathFolded *critpath.Folded
 
 	// exp is the currently-executing experiment id (set by Run), used
 	// to label telemetry run records.
@@ -99,6 +103,7 @@ func (o Options) newCluster(kind middletier.Kind, mutate func(*cluster.Config)) 
 	cfg.MT.Protocol = o.Replication
 	cfg.Disk = expDisk()
 	cfg.Trace = o.Trace
+	cfg.CritpathFolded = o.CritpathFolded
 	cfg.Telemetry = o.Telemetry
 	cfg.TelemetryExp = o.exp
 	cfg.SLO = o.SLO

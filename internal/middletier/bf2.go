@@ -5,6 +5,7 @@ import (
 	"github.com/disagg/smartds/internal/lz4"
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // The BF2 path (paper §3.4, Figure 1d): messages land in the SoC's
@@ -24,7 +25,7 @@ func (s *Server) bf2Recv(qp *rdma.QP, m *rdma.Message) {
 		tid := traceID(req.hdr)
 		tr := s.cfg.Trace.ForRequest(tid)
 		tr.End(p.Now(), "net", "request", tid)
-		tr.Begin(p.Now(), "mt", "parse", tid)
+		stageBegin(tr, p.Now(), "mt", "parse", tid)
 		// Network-in: the message is written into SoC DRAM.
 		s.bf2Mem.Access(p, m.Size)
 		switch req.hdr.Op {
@@ -36,11 +37,12 @@ func (s *Server) bf2Recv(qp *rdma.QP, m *rdma.Message) {
 	})
 }
 
-// bf2StorageReply charges the inbound DRAM write before routing.
-func (s *Server) bf2StorageReply(m *rdma.Message) {
+// bf2StorageReply charges the inbound DRAM write before routing. from
+// is the global storage-server index the owning connection serves.
+func (s *Server) bf2StorageReply(from int, m *rdma.Message) {
 	s.env.Go("bf2.ack", func(p *sim.Proc) {
 		s.bf2Mem.Access(p, m.Size)
-		s.onStorageReply(m)
+		s.onStorageReplyFrom(from, m)
 	})
 }
 
@@ -56,7 +58,7 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	var frame []byte
 	var frameSize float64
 	flags := uint8(0)
-	tr.Begin(p.Now(), "mt", "compress", tid)
+	stageBegin(tr, p.Now(), "mt", "compress", tid)
 	switch {
 	case bypass:
 		s.BypassHits++
@@ -71,6 +73,7 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	default:
 		// The engine reads and writes SoC DRAM itself (device.Engine
 		// charges both inside Run).
+		e0 := p.Now()
 		if req.payload != nil {
 			out, err := s.bf2Engine.Compress(p, req.payload, s.cfg.Level)
 			if err != nil {
@@ -82,13 +85,19 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 			s.bf2Engine.Run(p, req.size, req.size/s.cfg.ModelRatio)
 			frameSize = req.size / s.cfg.ModelRatio
 		}
+		// Engine occupancy inside the compress stage (queueing for the
+		// engine slot is inside Run; the device-track job.qwait span
+		// carries the split).
+		if e1 := p.Now(); tr != nil && e1 > e0 {
+			tr.Span(e0, e1, "mt", "compress.engine", tid, tid, "mt", "compress", trace.KindService, "")
+		}
 		flags = blockstore.FlagCompressed
 	}
 	tr.End(p.Now(), "mt", "compress", tid)
 
 	// Which port's storage QPs: same port the client is bound to.
 	path := s.bf2PathOf(clientQP)
-	tr.Begin(p.Now(), "mt", "replicate", tid)
+	stageBegin(tr, p.Now(), "mt", "replicate", tid)
 	version := s.nextWriteVersion()
 	status, stored := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
 		rh := blockstore.Header{
@@ -114,10 +123,10 @@ func (s *Server) bf2Write(p *sim.Proc, clientQP *rdma.QP, req request) {
 	})
 	tr.End(p.Now(), "mt", "replicate", tid)
 
-	tr.Begin(p.Now(), "mt", "ack", tid)
+	stageBegin(tr, p.Now(), "mt", "ack", tid)
 	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: status}
 	tr.End(p.Now(), "mt", "ack", tid)
-	tr.Begin(p.Now(), "net", "reply", tid)
+	stageBegin(tr, p.Now(), "net", "reply", tid)
 	clientQP.Send(reply.Encode())
 	s.WritesDone++
 	s.BytesStored += frameSize * float64(stored)
@@ -133,7 +142,7 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	path := s.bf2PathOf(clientQP)
 	var pr *pendingReq
 	if s.cfg.Protocol == ProtoQuorum {
-		tr.Begin(p.Now(), "mt", "fetch", tid)
+		stageBegin(tr, p.Now(), "mt", "fetch", tid)
 		winner, qok := s.quorumFetch(p, req.hdr,
 			func(fh blockstore.Header, idx int) {
 				s.storagePaths[path][idx].Send(fh.Encode())
@@ -155,7 +164,7 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 		tr.End(p.Now(), "mt", "fetch", tid)
 		if !qok {
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			clientQP.Send(reply.Encode())
 			s.ReadsDone++
 			return
@@ -165,7 +174,7 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 		idx, ok := s.readReplicaFor(req.hdr)
 		if !ok {
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			clientQP.Send(reply.Encode())
 			s.ReadsDone++
 			return
@@ -175,7 +184,7 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 			Op: blockstore.OpFetch, ReqID: repID,
 			SegmentID: req.hdr.SegmentID, ChunkID: req.hdr.ChunkID, BlockOff: req.hdr.BlockOff,
 		}
-		tr.Begin(p.Now(), "mt", "fetch", tid)
+		stageBegin(tr, p.Now(), "mt", "fetch", tid)
 		s.storagePaths[path][idx].Send(fh.Encode())
 		p.Wait(spr.done)
 		tr.End(p.Now(), "mt", "fetch", tid)
@@ -184,12 +193,12 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 
 	reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
 	if pr.status != blockstore.StatusOK {
-		tr.Begin(p.Now(), "net", "reply", tid)
+		stageBegin(tr, p.Now(), "net", "reply", tid)
 		clientQP.Send(reply.Encode())
 		s.ReadsDone++
 		return
 	}
-	tr.Begin(p.Now(), "mt", "decompress", tid)
+	stageBegin(tr, p.Now(), "mt", "decompress", tid)
 	blockSize := float64(s.cfg.BlockSize)
 	var block []byte
 	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
@@ -203,7 +212,7 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 		if err != nil {
 			tr.End(p.Now(), "mt", "decompress", tid)
 			reply.Status = blockstore.StatusCorrupt
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			clientQP.Send(reply.Encode())
 			s.ReadsDone++
 			return
@@ -219,7 +228,7 @@ func (s *Server) bf2Read(p *sim.Proc, clientQP *rdma.QP, req request) {
 	// Network-out read of the reply payload.
 	s.bf2Mem.Access(p, blockSize)
 	tr.End(p.Now(), "mt", "decompress", tid)
-	tr.Begin(p.Now(), "net", "reply", tid)
+	stageBegin(tr, p.Now(), "net", "reply", tid)
 	if block != nil {
 		clientQP.Send(blockstore.Message(&reply, block))
 	} else {

@@ -103,7 +103,7 @@ func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace.ForRequest(tid)
 	tr.End(p.Now(), "net", "request", tid)
-	tr.Begin(p.Now(), "mt", "parse", tid)
+	stageBegin(tr, p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
 	core.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
@@ -113,7 +113,7 @@ func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
 	var frame []byte
 	var frameSize float64
 	flags := uint8(0)
-	tr.Begin(p.Now(), "mt", "compress", tid)
+	stageBegin(tr, p.Now(), "mt", "compress", tid)
 	switch {
 	case bypass:
 		s.BypassHits++
@@ -149,6 +149,8 @@ func (s *Server) hostWrite(p *sim.Proc, clientQP *rdma.QP, req request) {
 // fetch (from LLC when DDIO holds it), engine time, PCIe D2H
 // write-back (evicted to DRAM later: retained buffer).
 func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byte, float64) {
+	tid := traceID(req.hdr)
+	tr := s.cfg.Trace.ForRequest(tid)
 	// CPU posts the job to the card.
 	s.accelPCIe.Doorbell(p)
 	// Card fetches the block.
@@ -164,9 +166,12 @@ func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byt
 	if s.cfg.DDIO {
 		memF = 1 + (memF-1)*0.6
 	}
+	q0 := p.Now()
 	s.accelSlot.Acquire(p)
+	q1 := p.Now()
 	p.Sleep(req.size * memF / s.cfg.AccelEngineRate)
 	s.accelSlot.Release()
+	s.engineSpans(tr, tid, "compress", q0, q1, p.Now())
 	var frame []byte
 	var frameSize float64
 	if req.payload == nil {
@@ -192,7 +197,7 @@ func (s *Server) accelCompress(p *sim.Proc, core *host.Core, req request) ([]byt
 func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, frame []byte, frameSize float64, flags uint8) {
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace.ForRequest(tid)
-	tr.Begin(p.Now(), "mt", "replicate", tid)
+	stageBegin(tr, p.Now(), "mt", "replicate", tid)
 	version := s.nextWriteVersion()
 	status, stored := s.replicateWait(p, req.hdr, frameSize, func(repID uint64, set []int) {
 		rh := blockstore.Header{
@@ -222,10 +227,10 @@ func (s *Server) replicateAndReply(p *sim.Proc, clientQP *rdma.QP, req request, 
 	})
 	tr.End(p.Now(), "mt", "replicate", tid)
 
-	tr.Begin(p.Now(), "mt", "ack", tid)
+	stageBegin(tr, p.Now(), "mt", "ack", tid)
 	reply := blockstore.Header{Op: blockstore.OpWriteReply, ReqID: req.hdr.ReqID, Status: status}
 	tr.End(p.Now(), "mt", "ack", tid)
-	tr.Begin(p.Now(), "net", "reply", tid)
+	stageBegin(tr, p.Now(), "net", "reply", tid)
 	s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 	s.WritesDone++
 	s.BytesStored += frameSize * float64(stored)
@@ -237,14 +242,14 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 	tid := traceID(req.hdr)
 	tr := s.cfg.Trace.ForRequest(tid)
 	tr.End(p.Now(), "net", "request", tid)
-	tr.Begin(p.Now(), "mt", "parse", tid)
+	stageBegin(tr, p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
 	core.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
 
 	var pr *pendingReq
 	if s.cfg.Protocol == ProtoQuorum {
-		tr.Begin(p.Now(), "mt", "fetch", tid)
+		stageBegin(tr, p.Now(), "mt", "fetch", tid)
 		winner, qok := s.quorumFetch(p, req.hdr,
 			func(fh blockstore.Header, idx int) {
 				s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
@@ -264,7 +269,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 			// No reachable read quorum: answer the client instead of
 			// panicking or stalling.
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 			s.ReadsDone++
 			return
@@ -276,7 +281,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 			// Every replica of the chunk is down: answer the client instead
 			// of panicking or stalling.
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 			s.ReadsDone++
 			return
@@ -289,7 +294,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 			ChunkID:   req.hdr.ChunkID,
 			BlockOff:  req.hdr.BlockOff,
 		}
-		tr.Begin(p.Now(), "mt", "fetch", tid)
+		stageBegin(tr, p.Now(), "mt", "fetch", tid)
 		s.nic.Send(s.storagePaths[0][idx], fh.Encode(), blockstore.HeaderSize)
 		p.Wait(spr.done)
 		tr.End(p.Now(), "mt", "fetch", tid)
@@ -298,13 +303,13 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 
 	if pr.status != blockstore.StatusOK {
 		reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: pr.status}
-		tr.Begin(p.Now(), "net", "reply", tid)
+		stageBegin(tr, p.Now(), "net", "reply", tid)
 		s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 		s.ReadsDone++
 		return
 	}
 
-	tr.Begin(p.Now(), "mt", "decompress", tid)
+	stageBegin(tr, p.Now(), "mt", "decompress", tid)
 	var block []byte
 	blockSize := float64(s.cfg.BlockSize)
 	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
@@ -331,9 +336,12 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 				p.Wait(s.Mem.StartRead(pr.size))
 			}
 			p.Wait(fetch)
+			q0 := p.Now()
 			s.accelSlot.Acquire(p)
+			q1 := p.Now()
 			p.Sleep(blockSize / s.cfg.AccelEngineRate)
 			s.accelSlot.Release()
+			s.engineSpans(tr, tid, "decompress", q0, q1, p.Now())
 			block, err = lz4.DecodeFrame(pr.payload)
 			wb := s.accelPCIe.StartDMA(pcie.D2H, blockSize)
 			p.Wait(s.Mem.StartWrite(blockSize))
@@ -342,7 +350,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 		if err != nil {
 			tr.End(p.Now(), "mt", "decompress", tid)
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusCorrupt}
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			s.nic.Send(clientQP, reply.Encode(), blockstore.HeaderSize)
 			s.ReadsDone++
 			return
@@ -368,7 +376,7 @@ func (s *Server) hostRead(p *sim.Proc, clientQP *rdma.QP, req request) {
 		reply.PayloadLen = uint32(blockSize)
 		msg = reply.Encode()
 	}
-	tr.Begin(p.Now(), "net", "reply", tid)
+	stageBegin(tr, p.Now(), "net", "reply", tid)
 	s.nic.Send(clientQP, msg, blockstore.HeaderSize+blockSize)
 	s.ReadsDone++
 }

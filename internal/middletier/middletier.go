@@ -194,6 +194,17 @@ type pendingReq struct {
 	// release, when set, returns the receive descriptor holding the
 	// fetched payload (SmartDS read path).
 	release func()
+
+	// Straggler attribution (critpath): the replicator stamps the
+	// fan-out set and send-complete time, completePending stamps which
+	// reply decided the fan-out and when. set[slot] is the global
+	// storage-server index of replica slot; deciderSlot is the slot of
+	// the deciding (slowest-awaited) ack, -1 until decided.
+	set         []int
+	sentAt      float64
+	decidedAt   float64
+	deciderSlot int
+	deciderIdx  int // global server index of the deciding ack
 }
 
 // Server is one middle-tier server of the configured kind.
@@ -282,6 +293,13 @@ type Server struct {
 	RepairBytes      float64 // frame bytes those read-repairs pushed
 	BackfillBytes    float64 // chunk snapshot bytes copied onto substituted replicas
 
+	// StragglerAcks[i] counts multi-replica fan-outs whose deciding ack
+	// — the one the middle tier actually waited for — came from replica
+	// slot i of the fan-out set. A skewed distribution means one
+	// placement position consistently drags the write path, visible
+	// without tracing enabled.
+	StragglerAcks []uint64
+
 	clientConns  int
 	clientLocals []*rdma.QP // middle-tier side of each client connection
 }
@@ -346,6 +364,7 @@ func New(env *sim.Env, fabric *netsim.Fabric, cfg Config) *Server {
 		rep:        newReplicator(cfg.Protocol),
 		trackAcks:  cfg.Protocol != ProtoPrimary,
 	}
+	s.StragglerAcks = make([]uint64, cfg.Replicas)
 	for i := 0; i < cfg.Workers; i++ {
 		c, err := s.cpu.Claim()
 		if err != nil {
@@ -563,7 +582,8 @@ func (s *Server) newPending(n int) (uint64, *pendingReq) {
 func (s *Server) newPendingQuorum(expected, need int) (uint64, *pendingReq) {
 	s.nextRep++
 	pr := &pendingReq{remaining: expected, expected: expected, need: need,
-		done: s.env.NewEvent(), status: blockstore.StatusOK}
+		done: s.env.NewEvent(), status: blockstore.StatusOK,
+		sentAt: -1, decidedAt: -1, deciderSlot: -1, deciderIdx: -1}
 	if s.trackAcks {
 		pr.acks = make([]blockstore.Status, 0, expected)
 	}
@@ -576,7 +596,12 @@ func (s *Server) newPendingQuorum(expected, need int) (uint64, *pendingReq) {
 // met without it) or was abandoned by a timed-out attempt — is a stale
 // ack: it is counted and dropped, and can never complete a different
 // (e.g. retried) fan-out, because every attempt registers a fresh id.
-func (s *Server) completePending(repID uint64, st blockstore.Status, payload []byte, size float64, hdr blockstore.Header) {
+//
+// from is the global storage-server index the reply arrived from (-1
+// when unknown). Reply headers carry no sender identity — it is the
+// per-connection receive closure, bound at ConnectStorage time, that
+// knows which server a reply came down from.
+func (s *Server) completePending(repID uint64, from int, st blockstore.Status, payload []byte, size float64, hdr blockstore.Header) {
 	pr, ok := s.pending[repID]
 	if !ok {
 		s.StaleAcks++
@@ -602,12 +627,35 @@ func (s *Server) completePending(repID uint64, st blockstore.Status, payload []b
 		// stragglers stale.
 		pr.status = blockstore.StatusOK
 		delete(s.pending, repID)
+		s.noteDecider(pr, from)
 		pr.done.Trigger(nil)
 		return
 	}
 	if pr.remaining <= 0 {
 		delete(s.pending, repID)
+		s.noteDecider(pr, from)
 		pr.done.Trigger(nil)
+	}
+}
+
+// noteDecider stamps the reply that completed a fan-out and, for
+// multi-replica fan-outs, bumps the per-slot straggler counter: the
+// deciding ack is by definition the slowest one the protocol still had
+// to wait for, so its replica slot is the fan-out's straggler.
+func (s *Server) noteDecider(pr *pendingReq, from int) {
+	pr.decidedAt = s.now()
+	pr.deciderIdx = from
+	if pr.expected <= 1 || from < 0 {
+		return
+	}
+	for slot, idx := range pr.set {
+		if idx == from {
+			pr.deciderSlot = slot
+			if slot < len(s.StragglerAcks) {
+				s.StragglerAcks[slot]++
+			}
+			return
+		}
 	}
 }
 
@@ -641,10 +689,12 @@ func (s *Server) sendMaintenance(hdr blockstore.Header, idx int, size float64) {
 	}
 }
 
-// onStorageReply routes replicate/fetch replies back to their pending
-// fan-outs. Used by the CPUOnly/Accel/BF2 paths; SmartDS routes
-// through recv descriptors (see smartds.go).
-func (s *Server) onStorageReply(m *rdma.Message) {
+// onStorageReplyFrom routes replicate/fetch replies back to their
+// pending fan-outs. from is the global storage-server index the
+// owning connection is wired to (straggler attribution). Used by the
+// CPUOnly/Accel/BF2 paths; SmartDS routes through recv descriptors
+// (see smartds.go).
+func (s *Server) onStorageReplyFrom(from int, m *rdma.Message) {
 	if m.Data == nil || len(m.Data) < blockstore.HeaderSize {
 		return
 	}
@@ -654,7 +704,7 @@ func (s *Server) onStorageReply(m *rdma.Message) {
 	}
 	switch h.Op {
 	case blockstore.OpReplicateReply:
-		s.completePending(h.ReqID, h.Status, nil, 0, h)
+		s.completePending(h.ReqID, from, h.Status, nil, 0, h)
 	case blockstore.OpFetchReply:
 		payload := m.Data[blockstore.HeaderSize:]
 		size := float64(len(payload))
@@ -662,7 +712,7 @@ func (s *Server) onStorageReply(m *rdma.Message) {
 			payload = nil
 			size = float64(h.PayloadLen) // modeled frame
 		}
-		s.completePending(h.ReqID, h.Status, payload, size, h)
+		s.completePending(h.ReqID, from, h.Status, payload, size, h)
 	}
 }
 
@@ -886,16 +936,20 @@ func (s *Server) ConnectStorage(servers []*storage.Server) {
 	}
 	s.storagePaths = make([][]*rdma.QP, paths)
 	for pi := 0; pi < paths; pi++ {
-		for _, srv := range servers {
+		for si, srv := range servers {
+			// Each connection's receive closure captures the server index
+			// it is wired to: replies carry no sender identity, so this is
+			// where straggler attribution learns which replica answered.
+			si := si
 			var local *rdma.QP
 			switch s.cfg.Kind {
 			case CPUOnly, Accel:
-				local = s.nic.CreateQP(func(_ *rdma.QP, m *rdma.Message) { s.onStorageReply(m) })
+				local = s.nic.CreateQP(func(_ *rdma.QP, m *rdma.Message) { s.onStorageReplyFrom(si, m) })
 			case BF2:
 				local = s.bf2Stacks[pi].CreateQP()
-				local.OnRecv = s.bf2StorageReply
+				local.OnRecv = func(m *rdma.Message) { s.bf2StorageReply(si, m) }
 			case SmartDS:
-				local = s.sdsStorageQP(pi)
+				local = s.sdsStorageQP(pi, si)
 			}
 			remote := srv.AcceptQP()
 			rdma.Connect(local, remote)
@@ -963,6 +1017,59 @@ func (s *Server) replicas() int { return s.cfg.Replicas }
 
 func (s *Server) emit(now float64, event, detail string) {
 	s.cfg.Trace.Emit(now, "mt", event, detail)
+}
+
+// noteWait records one completed fan-out's straggler wait on the
+// request's trace: the interval between the attempt's sends being
+// posted and the deciding ack arriving is time the middle tier spent
+// blocked on the slowest awaited replica, not doing work. The span is
+// a wait child of mt/replicate in the request DAG; its detail names
+// the straggler so a p999 drill-down can say which replica dragged.
+func (s *Server) noteWait(hdr blockstore.Header, pr *pendingReq) {
+	if pr.sentAt < 0 || pr.decidedAt <= pr.sentAt {
+		return
+	}
+	tid := traceID(hdr)
+	tr := s.cfg.Trace.ForRequest(tid)
+	if tr == nil {
+		return
+	}
+	detail := ""
+	if pr.deciderSlot >= 0 {
+		detail = fmt.Sprintf("straggler replica=%d server=%d", pr.deciderSlot, pr.deciderIdx)
+	}
+	tr.Span(pr.sentAt, pr.decidedAt, "mt", "replicate.wait", tid, tid,
+		"mt", "replicate", trace.KindWait, detail)
+}
+
+// stageBegin opens one request-scoped pipeline-stage span: grouped
+// into the request's DAG (Req = tid) as a direct service child of the
+// client root span.
+func stageBegin(tr *trace.Tracer, at float64, component, name string, tid uint64) {
+	tr.BeginReq(at, component, name, tid, tid, trace.KindService)
+}
+
+// engineSpans records the engine-occupancy split under one mt stage:
+// queue wait for the engine slot ([q0, q1]) vs engine busy time
+// ([q1, e1]). Sub-span names are static strings so recording stays
+// allocation-free.
+func (s *Server) engineSpans(tr *trace.Tracer, tid uint64, stage string, q0, q1, e1 float64) {
+	if tr == nil {
+		return
+	}
+	var qname, ename string
+	switch stage {
+	case "compress":
+		qname, ename = "compress.qwait", "compress.engine"
+	default:
+		qname, ename = "decompress.qwait", "decompress.engine"
+	}
+	if q1 > q0 {
+		tr.Span(q0, q1, "mt", qname, tid, tid, "mt", stage, trace.KindWait, "")
+	}
+	if e1 > q1 {
+		tr.Span(q1, e1, "mt", ename, tid, tid, "mt", stage, trace.KindService, "")
+	}
 }
 
 // ConnectClient attaches one client (VM storage agent): the returned

@@ -99,12 +99,12 @@ func TestHealthyReplicasShortWhenInsufficient(t *testing.T) {
 func TestPendingFanInCountsReplies(t *testing.T) {
 	s := newTestServer(t, CPUOnly)
 	id, pr := s.newPending(3)
-	s.completePending(id, blockstore.StatusOK, nil, 0, blockstore.Header{})
-	s.completePending(id, blockstore.StatusOK, nil, 0, blockstore.Header{})
+	s.completePending(id, -1, blockstore.StatusOK, nil, 0, blockstore.Header{})
+	s.completePending(id, -1, blockstore.StatusOK, nil, 0, blockstore.Header{})
 	if pr.done.Done() {
 		t.Fatal("pending completed early")
 	}
-	s.completePending(id, blockstore.StatusOK, nil, 0, blockstore.Header{})
+	s.completePending(id, -1, blockstore.StatusOK, nil, 0, blockstore.Header{})
 	if !pr.done.Done() {
 		t.Fatal("pending did not complete after all replies")
 	}
@@ -112,14 +112,14 @@ func TestPendingFanInCountsReplies(t *testing.T) {
 		t.Fatalf("status = %v", pr.status)
 	}
 	// Stale completion for a finished id is ignored.
-	s.completePending(id, blockstore.StatusError, nil, 0, blockstore.Header{})
+	s.completePending(id, -1, blockstore.StatusError, nil, 0, blockstore.Header{})
 }
 
 func TestPendingRecordsWorstStatus(t *testing.T) {
 	s := newTestServer(t, CPUOnly)
 	id, pr := s.newPending(2)
-	s.completePending(id, blockstore.StatusOK, nil, 0, blockstore.Header{})
-	s.completePending(id, blockstore.StatusCorrupt, nil, 0, blockstore.Header{})
+	s.completePending(id, -1, blockstore.StatusOK, nil, 0, blockstore.Header{})
+	s.completePending(id, -1, blockstore.StatusCorrupt, nil, 0, blockstore.Header{})
 	if pr.status != blockstore.StatusCorrupt {
 		t.Fatalf("fan-in status = %v, want Corrupt", pr.status)
 	}

@@ -119,6 +119,10 @@ type replicatorHost interface {
 	replicas() int
 	// emit records one trace event on the middle tier's track.
 	emit(now float64, event, detail string)
+	// noteWait records a completed fan-out's straggler wait — the
+	// interval from the attempt's sends being posted to the deciding
+	// ack — on the request's trace for critical-path blame.
+	noteWait(hdr blockstore.Header, pr *pendingReq)
 }
 
 // sameSet reports whether two replica sets are identical slot by slot.
@@ -182,6 +186,7 @@ func (primaryReplicator) Replicate(h replicatorHost, p *sim.Proc, hdr blockstore
 		}
 		repID, pr := h.begin(len(set), len(set))
 		send(repID, set)
+		pr.set, pr.sentAt = set, p.Now()
 		stored = len(set)
 		done := true
 		if h.replicateTimeout() <= 0 {
@@ -190,6 +195,7 @@ func (primaryReplicator) Replicate(h replicatorHost, p *sim.Proc, hdr blockstore
 			done = false
 		}
 		if done {
+			h.noteWait(hdr, pr)
 			if pr.status == blockstore.StatusOK && placementMoved(h, hdr, set) {
 				// A member crashed mid-flight and was substituted: re-send
 				// so the substitute holds this write too before the client
@@ -242,6 +248,7 @@ func (chainReplicator) Replicate(h replicatorHost, p *sim.Proc, hdr blockstore.H
 		for hop := 0; hop < len(set); hop++ {
 			repID, pr := h.begin(1, 1)
 			send(repID, set[hop:hop+1])
+			pr.set, pr.sentAt = set[hop:hop+1], p.Now()
 			if h.replicateTimeout() <= 0 {
 				p.Wait(pr.done)
 			} else if _, ok := p.WaitTimeout(pr.done, h.replicateTimeout()); !ok {
@@ -251,6 +258,7 @@ func (chainReplicator) Replicate(h replicatorHost, p *sim.Proc, hdr blockstore.H
 				timedOut = true
 				break
 			}
+			h.noteWait(hdr, pr)
 			if pr.status != blockstore.StatusOK {
 				worst = pr.status
 			}
@@ -299,12 +307,15 @@ func (q quorumReplicator) Replicate(h replicatorHost, p *sim.Proc, hdr blockstor
 		}
 		repID, pr := h.begin(len(set), need)
 		send(repID, set)
+		pr.set, pr.sentAt = set, p.Now()
 		stored = len(set)
 		if h.replicateTimeout() <= 0 {
 			p.Wait(pr.done)
+			h.noteWait(hdr, pr)
 			return pr.status, stored
 		}
 		if _, ok := p.WaitTimeout(pr.done, h.replicateTimeout()); ok {
+			h.noteWait(hdr, pr)
 			return pr.status, stored
 		}
 		h.abandon(repID)

@@ -63,6 +63,7 @@ func (f *fakeHost) begin(expected, need int) (uint64, *pendingReq) {
 func (f *fakeHost) currentSet(blockstore.Header) []int { return f.cur }
 
 func (f *fakeHost) abandon(repID uint64)                      { delete(f.pending, repID) }
+func (f *fakeHost) noteWait(blockstore.Header, *pendingReq)   {}
 func (f *fakeHost) replicateTimeout() float64                 { return f.timeout }
 func (f *fakeHost) replicas() int                             { return f.nrep }
 func (f *fakeHost) noteRetry(frameSize float64, replicas int) { f.retries++ }

@@ -10,6 +10,7 @@ import (
 	"github.com/disagg/smartds/internal/pcie"
 	"github.com/disagg/smartds/internal/rdma"
 	"github.com/disagg/smartds/internal/sim"
+	"github.com/disagg/smartds/internal/trace"
 )
 
 // The SmartDS path (paper §4, Listing 1): recv descriptors split each
@@ -109,7 +110,7 @@ func (c *sdsClientConn) handle(p *sim.Proc, i int, res core.Result, repost func(
 	// a nil tracer and every span call below is a free no-op.
 	tr := s.cfg.Trace.ForRequest(tid)
 	tr.End(p.Now(), "net", "request", tid)
-	tr.Begin(p.Now(), "mt", "parse", tid)
+	stageBegin(tr, p.Now(), "mt", "parse", tid)
 	core := s.nextCore()
 	core.Parse(p)
 	tr.End(p.Now(), "mt", "parse", tid)
@@ -138,7 +139,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	flags := uint8(0)
 
 	port := inst.Index()
-	tr.Begin(p.Now(), "mt", "compress", tid)
+	stageBegin(tr, p.Now(), "mt", "compress", tid)
 	switch {
 	case bypass:
 		s.BypassHits++
@@ -177,6 +178,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 			p.Wait(fetch)
 			p.Wait(s.sds.HBM().StartAccess(req.hostResident))
 		}
+		e0 := p.Now()
 		if req.payload != nil {
 			comp := engInst.DevFunc(c.dbufs[slot], len(req.payload), dst, s.cfg.Level)
 			res := core.Poll(p, comp)
@@ -192,13 +194,18 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 			engInst.Engine().Run(p, req.size, req.size/s.cfg.ModelRatio)
 			payloadSize = req.size/s.cfg.ModelRatio + lz4.FrameHeaderSize
 		}
+		// Engine occupancy inside the compress stage; the device-track
+		// job.qwait/job.run spans carry the slot-wait split.
+		if e1 := p.Now(); tr != nil && e1 > e0 {
+			tr.Span(e0, e1, "mt", "compress.engine", tid, tid, "mt", "compress", trace.KindService, "")
+		}
 		payloadBuf = dst
 		flags = blockstore.FlagCompressed
 		repost() // the descriptor's payload buffer is consumed
 	}
 	tr.End(p.Now(), "mt", "compress", tid)
 
-	tr.Begin(p.Now(), "mt", "replicate", tid)
+	stageBegin(tr, p.Now(), "mt", "replicate", tid)
 	version := s.nextWriteVersion()
 	status, stored := s.replicateWait(p, req.hdr, payloadSize, func(repID uint64, set []int) {
 		rh := blockstore.Header{
@@ -211,14 +218,21 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 		// A fresh header buffer per attempt: the Assemble module copies
 		// its bytes asynchronously, so a prior attempt's gather may still
 		// be reading the old one.
+		a0 := p.Now()
 		repHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 		copy(repHdr.Bytes(), rh.Encode())
 		for _, idx := range set {
 			inst.DevMixedSend(s.storagePaths[port][idx], repHdr, blockstore.HeaderSize, payloadBuf, int(payloadSize))
 		}
+		// The split design's replicate self-time is message assembly
+		// (header gather + descriptor posting), not store-and-forward:
+		// name it so blame profiles show the shift across designs.
+		if a1 := p.Now(); tr != nil && a1 > a0 {
+			tr.Span(a0, a1, "mt", "replicate.assemble", tid, tid, "mt", "replicate", trace.KindService, "")
+		}
 	})
 	tr.End(p.Now(), "mt", "replicate", tid)
-	tr.Begin(p.Now(), "mt", "ack", tid)
+	stageBegin(tr, p.Now(), "mt", "ack", tid)
 	s.nextCore().Work(p, completionCPUTime*float64(maxInt(stored, 1)))
 
 	if freePayload {
@@ -229,7 +243,7 @@ func (s *Server) sdsWrite(p *sim.Proc, c *sdsClientConn, slot int, req request, 
 	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 	copy(replyHdr.Bytes(), reply.Encode())
 	tr.End(p.Now(), "mt", "ack", tid)
-	tr.Begin(p.Now(), "net", "reply", tid)
+	stageBegin(tr, p.Now(), "net", "reply", tid)
 	inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 	s.nextCore().Work(p, completionCPUTime)
 	s.WritesDone++
@@ -252,7 +266,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	path := inst.Index()
 	var pr *pendingReq
 	if s.cfg.Protocol == ProtoQuorum {
-		tr.Begin(p.Now(), "mt", "fetch", tid)
+		stageBegin(tr, p.Now(), "mt", "fetch", tid)
 		winner, qok := s.quorumFetch(p, req.hdr,
 			func(fh blockstore.Header, idx int) {
 				fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
@@ -279,7 +293,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
 			replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 			copy(replyHdr.Bytes(), reply.Encode())
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 			s.ReadsDone++
 			return
@@ -291,7 +305,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 			reply := blockstore.Header{Op: blockstore.OpReadReply, ReqID: req.hdr.ReqID, Status: blockstore.StatusError}
 			replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 			copy(replyHdr.Bytes(), reply.Encode())
-			tr.Begin(p.Now(), "net", "reply", tid)
+			stageBegin(tr, p.Now(), "net", "reply", tid)
 			inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 			s.ReadsDone++
 			return
@@ -303,7 +317,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 		}
 		fetchHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 		copy(fetchHdr.Bytes(), fh.Encode())
-		tr.Begin(p.Now(), "mt", "fetch", tid)
+		stageBegin(tr, p.Now(), "mt", "fetch", tid)
 		inst.DevMixedSend(s.storagePaths[path][idx], fetchHdr, blockstore.HeaderSize, nil, 0)
 		p.Wait(spr.done)
 		s.nextCore().Work(p, completionCPUTime)
@@ -315,7 +329,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 	replyHdr := s.sds.HostAlloc(blockstore.HeaderSize)
 	if pr.status != blockstore.StatusOK {
 		copy(replyHdr.Bytes(), reply.Encode())
-		tr.Begin(p.Now(), "net", "reply", tid)
+		stageBegin(tr, p.Now(), "net", "reply", tid)
 		inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 		if pr.release != nil {
 			pr.release()
@@ -324,7 +338,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 		return
 	}
 
-	tr.Begin(p.Now(), "mt", "decompress", tid)
+	stageBegin(tr, p.Now(), "mt", "decompress", tid)
 	blockSize := float64(s.cfg.BlockSize)
 	compressed := pr.hdr.Flags&blockstore.FlagCompressed != 0
 	var block []byte
@@ -336,7 +350,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 				tr.End(p.Now(), "mt", "decompress", tid)
 				reply.Status = blockstore.StatusCorrupt
 				copy(replyHdr.Bytes(), reply.Encode())
-				tr.Begin(p.Now(), "net", "reply", tid)
+				stageBegin(tr, p.Now(), "net", "reply", tid)
 				inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, nil, 0)
 				if pr.release != nil {
 					pr.release()
@@ -376,7 +390,7 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 
 	reply.PayloadLen = uint32(blockSize)
 	copy(replyHdr.Bytes(), reply.Encode())
-	tr.Begin(p.Now(), "net", "reply", tid)
+	stageBegin(tr, p.Now(), "net", "reply", tid)
 	comp := inst.DevMixedSend(c.qp, replyHdr, blockstore.HeaderSize, blockBuf, int(blockSize))
 	core.Poll(p, comp)
 	blockBuf.Free()
@@ -384,8 +398,10 @@ func (s *Server) sdsRead(p *sim.Proc, c *sdsClientConn, req request) {
 }
 
 // sdsStorageQP builds the instance-side QP for one storage connection
-// plus its ack/fetch-reply descriptor pool.
-func (s *Server) sdsStorageQP(portIdx int) *rdma.QP {
+// plus its ack/fetch-reply descriptor pool. from is the global
+// storage-server index this connection is wired to (straggler
+// attribution for completePending).
+func (s *Server) sdsStorageQP(portIdx, from int) *rdma.QP {
 	inst, err := s.sds.OpenRoCEInstance(portIdx)
 	if err != nil {
 		panic(err)
@@ -399,7 +415,7 @@ func (s *Server) sdsStorageQP(portIdx int) *rdma.QP {
 		if allocErr != nil {
 			panic(allocErr)
 		}
-		s.postAckDesc(inst, qp, hbuf, dbuf)
+		s.postAckDesc(inst, qp, from, hbuf, dbuf)
 	}
 	return qp
 }
@@ -407,39 +423,39 @@ func (s *Server) sdsStorageQP(portIdx int) *rdma.QP {
 // postAckDesc arms one storage-reply descriptor. Replicate acks repost
 // immediately; fetch replies hand the device buffer to the waiting
 // read request and repost on release.
-func (s *Server) postAckDesc(inst *core.Instance, qp *rdma.QP, hbuf *core.HostBuf, dbuf *device.Buffer) {
+func (s *Server) postAckDesc(inst *core.Instance, qp *rdma.QP, from int, hbuf *core.HostBuf, dbuf *device.Buffer) {
 	comp := inst.DevMixedRecv(qp, hbuf, blockstore.HeaderSize, dbuf, dbuf.Size())
 	comp.Event().OnTrigger(func(v interface{}) {
 		res := v.(core.Result)
 		if res.Err != nil {
-			s.postAckDesc(inst, qp, hbuf, dbuf)
+			s.postAckDesc(inst, qp, from, hbuf, dbuf)
 			return
 		}
 		h, err := blockstore.Decode(hbuf.Bytes())
 		if err != nil {
-			s.postAckDesc(inst, qp, hbuf, dbuf)
+			s.postAckDesc(inst, qp, from, hbuf, dbuf)
 			return
 		}
 		switch h.Op {
 		case blockstore.OpReplicateReply:
-			s.completePending(h.ReqID, h.Status, nil, 0, h)
-			s.postAckDesc(inst, qp, hbuf, dbuf)
+			s.completePending(h.ReqID, from, h.Status, nil, 0, h)
+			s.postAckDesc(inst, qp, from, hbuf, dbuf)
 		case blockstore.OpFetchReply:
 			var payload []byte
 			if res.Placed > 0 {
 				payload = dbuf.Bytes()[:res.Placed]
 			}
 			if pr, ok := s.pending[h.ReqID]; ok {
-				pr.release = func() { s.postAckDesc(inst, qp, hbuf, dbuf) }
-				s.completePending(h.ReqID, h.Status, payload, float64(res.Size), h)
+				pr.release = func() { s.postAckDesc(inst, qp, from, hbuf, dbuf) }
+				s.completePending(h.ReqID, from, h.Status, payload, float64(res.Size), h)
 			} else {
 				// Stale fetch reply (its read already timed out and moved
 				// on): count it like any other stale ack, repost immediately.
 				s.StaleAcks++
-				s.postAckDesc(inst, qp, hbuf, dbuf)
+				s.postAckDesc(inst, qp, from, hbuf, dbuf)
 			}
 		default:
-			s.postAckDesc(inst, qp, hbuf, dbuf)
+			s.postAckDesc(inst, qp, from, hbuf, dbuf)
 		}
 	})
 }

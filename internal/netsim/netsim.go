@@ -234,6 +234,22 @@ func (p *Port) RxStats() sim.LinkStats { return p.rx.Snapshot() }
 // Rate returns the port's per-direction capacity in bytes/second.
 func (p *Port) Rate() float64 { return p.tx.Rate() }
 
+// WireTime returns the unloaded time for n on-wire bytes to cross this
+// port and the fabric: serialization at the port's current rate plus
+// one wire latency. Anything a real transfer takes beyond this is
+// contention — queueing behind other transfers, retransmits, ack
+// turnaround — which is the wait share of a send span's duration.
+func (p *Port) WireTime(n float64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	r := p.tx.Rate()
+	if r <= 0 {
+		return p.fabric.cfg.WireLatency
+	}
+	return n/r + p.fabric.cfg.WireLatency
+}
+
 // TxQueueLen and RxQueueLen report the number of transfers currently
 // serializing through each direction of the port — the instantaneous
 // queue depth the telemetry sampler records per sim-clock tick.

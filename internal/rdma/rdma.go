@@ -181,8 +181,9 @@ type pendingSend struct {
 	retries  int
 	done     *sim.Event
 	timer    sim.Timer
-	resolved bool   // acked or failed
-	span     uint64 // trace span id (0 when tracing is off)
+	resolved bool    // acked or failed
+	span     uint64  // trace span id (0 when tracing is off)
+	postedAt float64 // post time, for the wire/qwait split on sampled sends
 
 	// armFn and timeoutFn are bound once at post time; retransmissions
 	// reuse them instead of minting two fresh closures per transmit.
@@ -307,17 +308,42 @@ func (qp *QP) send(data []byte, size float64) *sim.Event {
 		// side skips too. At full rate ForRequest is the identity.
 		if st := tr.ForRequest(qp.stack.spanSeq); st != nil {
 			ps.span = qp.stack.spanSeq
-			st.Begin(qp.stack.env.Now(), qp.stack.traceName(), "send", ps.span)
+			ps.postedAt = qp.stack.env.Now()
+			st.Begin(ps.postedAt, qp.stack.traceName(), "send", ps.span)
 		}
 	}
 	qp.transmit(ps)
 	return done
 }
 
-// endSendSpan closes a pending send's trace span when it resolves.
+// endSendSpan closes a pending send's trace span when it resolves and
+// splits its duration into wire time vs queue wait: the unloaded
+// serialization + propagation time is service, and whatever the send
+// actually took beyond that — queueing behind other transfers,
+// retransmits, ack turnaround — is wait. The two children tile the
+// send span exactly, so critical-path blame can tell "the link was
+// busy" apart from "the message was big".
 func (qp *QP) endSendSpan(ps *pendingSend) {
-	if ps.span != 0 {
-		qp.stack.cfg.Trace.End(qp.stack.env.Now(), qp.stack.traceName(), "send", ps.span)
+	if ps.span == 0 {
+		return
+	}
+	s := qp.stack
+	now := s.env.Now()
+	tr := s.cfg.Trace
+	tr.End(now, s.traceName(), "send", ps.span)
+	dur := now - ps.postedAt
+	if dur <= 0 {
+		return
+	}
+	wire := s.port.WireTime(fabricSize(s, ps.size))
+	if wire > dur {
+		wire = dur
+	}
+	tr.Span(ps.postedAt, ps.postedAt+wire, s.traceName(), "send.wire",
+		ps.span, 0, s.traceName(), "send", trace.KindService, "")
+	if dur > wire {
+		tr.Span(ps.postedAt+wire, now, s.traceName(), "send.qwait",
+			ps.span, 0, s.traceName(), "send", trace.KindWait, "")
 	}
 }
 

@@ -63,6 +63,43 @@ type Alert struct {
 	Detail    string  `json:"detail,omitempty"`
 }
 
+// CritpathSegment is one critical-path segment of an exemplar request.
+type CritpathSegment struct {
+	Stage string  `json:"stage"`
+	Wait  bool    `json:"wait,omitempty"`
+	Dur   float64 `json:"dur_sec"`
+	Frac  float64 `json:"frac"`
+}
+
+// CritpathExemplar is one percentile exemplar request's full critical
+// path: the segments tile its end-to-end latency exactly.
+type CritpathExemplar struct {
+	TraceID  string            `json:"trace_id"`
+	E2E      float64           `json:"e2e_sec"`
+	Segments []CritpathSegment `json:"segments"`
+}
+
+// CritpathStage is one stage's share of critical-path time across the
+// run's sampled requests.
+type CritpathStage struct {
+	Stage    string  `json:"stage"`
+	Wait     bool    `json:"wait,omitempty"`
+	MeanFrac float64 `json:"mean_frac"`
+	P99Frac  float64 `json:"p99_frac"`
+	P999Frac float64 `json:"p999_frac"`
+	MeanSec  float64 `json:"mean_sec"`
+}
+
+// CritpathSummary is the run's latency blame profile: per-stage
+// critical-path attribution over every sampled request, with p99/p999
+// exemplar drill-downs (mirrors critpath.Analysis without importing it).
+type CritpathSummary struct {
+	Requests int             `json:"requests"`
+	Stages   []CritpathStage `json:"stages"`
+	P99      *CritpathExemplar `json:"p99,omitempty"`
+	P999     *CritpathExemplar `json:"p999,omitempty"`
+}
+
 // RunRecord is one cluster.Run's machine-readable result. Matched
 // across reports by (Experiment, Design, Seq).
 type RunRecord struct {
@@ -87,6 +124,7 @@ type RunRecord struct {
 	Counters map[string]float64 `json:"counters,omitempty"`
 	Faults   *FaultSummary      `json:"faults,omitempty"`
 	Alerts   []Alert            `json:"alerts,omitempty"`
+	Critpath *CritpathSummary   `json:"critpath,omitempty"`
 }
 
 // Key is the cross-report matching identity of a run.
@@ -237,6 +275,9 @@ func (sc *RunScope) RecordResults(duration float64, requests, errors uint64,
 
 // RecordFaults attaches a fault campaign's recovery summary.
 func (sc *RunScope) RecordFaults(fs FaultSummary) { sc.rec.Faults = &fs }
+
+// RecordCritpath attaches the run's latency blame profile.
+func (sc *RunScope) RecordCritpath(cs CritpathSummary) { sc.rec.Critpath = &cs }
 
 // RecordAlerts attaches the SLO engine's fired alerts (already in
 // deterministic fire order).

@@ -97,12 +97,19 @@ func (t *Tracer) ForRequest(id uint64) *Tracer {
 // tail/<reason> histogram like any other, and the id ties it to
 // exemplars and logs. Call only for unsampled requests — sampled ones
 // already have their full stage tiling.
+//
+// The kept span is marked as the request's root (Req = id, KindRoot):
+// a tail-kept request therefore always carries a complete — if
+// single-segment — DAG, never a partial path, so critical-path
+// analysis can tile it exactly without inventing stages head sampling
+// never recorded.
 func (t *Tracer) KeepTail(start, end float64, reason string, id uint64) {
 	if t == nil {
 		return
 	}
 	t.keptTail++
-	t.record(Event{At: start, Component: "tail", Name: reason, Dur: end - start, ID: id})
+	t.record(Event{At: start, Component: "tail", Name: reason, Dur: end - start,
+		ID: id, Req: id, Kind: KindRoot})
 	label := "tail/" + reason
 	h, ok := t.hists[label]
 	if !ok {

@@ -26,9 +26,40 @@ import (
 	"github.com/disagg/smartds/internal/metrics"
 )
 
+// Kind classifies a span for critical-path blame: service time (the
+// component was doing work), wait time (the request was parked on a
+// queue, a straggler ack, or a retransmit), or the request root (the
+// client-observed end-to-end interval every other span tiles).
+type Kind uint8
+
+const (
+	KindService Kind = iota
+	KindWait
+	KindRoot
+)
+
+// String names the kind for reports and folded stacks.
+func (k Kind) String() string {
+	switch k {
+	case KindWait:
+		return "wait"
+	case KindRoot:
+		return "root"
+	default:
+		return "service"
+	}
+}
+
 // Event is one recorded occurrence in virtual time. Dur > 0 marks a
 // completed span starting at At; Counter marks a counter sample whose
 // reading is Value.
+//
+// Req, PComp/PName and Kind carry the request DAG: spans with the same
+// non-zero Req belong to one request, PComp/PName name the parent span
+// label within that request ("" means the span hangs directly off the
+// request root), and Kind splits wait from service time. Parent edges
+// are stored as two static-string fields — never concatenated — so
+// recording a span stays allocation-free.
 type Event struct {
 	At        float64 // virtual seconds (span: start time)
 	Component string  // e.g. "client0", "mt", "ss2"
@@ -36,6 +67,10 @@ type Event struct {
 	Detail    string
 	Dur       float64 // span duration in virtual seconds (0 = instant)
 	ID        uint64  // span correlation id
+	Req       uint64  // request DAG id (0 = not request-scoped)
+	PComp     string  // parent span component ("" = child of the root)
+	PName     string  // parent span name
+	Kind      Kind    // wait/service/root classification
 	Counter   bool    // counter sample
 	Value     float64 // counter reading
 }
@@ -50,7 +85,7 @@ type Tracer struct {
 	wrapped bool
 	dropped uint64
 
-	open    map[spanKey]float64
+	open    map[spanKey]openSpan
 	maxOpen int
 	leaked  uint64
 
@@ -70,6 +105,16 @@ type spanKey struct {
 	id              uint64
 }
 
+// openSpan is the per-open-span state stashed at Begin time and pulled
+// into the recorded Event at End time.
+type openSpan struct {
+	at    float64
+	req   uint64
+	pcomp string
+	pname string
+	kind  Kind
+}
+
 // defaultMaxOpen bounds the open-span table; the deepest legitimate
 // nesting in the simulator is a few spans per in-flight request, so
 // crossing this means Begin/End pairing is broken somewhere.
@@ -84,7 +129,7 @@ func New(capacity int) *Tracer {
 	return &Tracer{
 		cap:     capacity,
 		events:  make([]Event, 0, capacity),
-		open:    make(map[spanKey]float64),
+		open:    make(map[spanKey]openSpan),
 		maxOpen: defaultMaxOpen,
 		hists:   make(map[string]*metrics.Histogram),
 	}
@@ -121,6 +166,21 @@ func (t *Tracer) Counter(at float64, track string, value float64) {
 // Begin opens a span identified by (component, name, id). If the open
 // table is full, the stalest open span is evicted and counted leaked.
 func (t *Tracer) Begin(at float64, component, name string, id uint64) {
+	t.BeginUnder(at, component, name, id, 0, "", "", KindService)
+}
+
+// BeginReq opens a request-scoped span: req groups it into the
+// request's DAG as a direct child of the request root. kind splits
+// wait from service time (KindRoot marks the root span itself).
+func (t *Tracer) BeginReq(at float64, component, name string, id, req uint64, kind Kind) {
+	t.BeginUnder(at, component, name, id, req, "", "", kind)
+}
+
+// BeginUnder opens a request-scoped span under an explicit parent span
+// label (pcomp, pname) within the same request DAG. Pass static
+// strings for the parent edge — they are stored verbatim, never
+// concatenated, so the call stays allocation-free.
+func (t *Tracer) BeginUnder(at float64, component, name string, id, req uint64, pcomp, pname string, kind Kind) {
 	if t == nil {
 		return
 	}
@@ -132,7 +192,7 @@ func (t *Tracer) Begin(at float64, component, name string, id uint64) {
 	} else if len(t.open) >= t.maxOpen {
 		t.evictStalest()
 	}
-	t.open[key] = at
+	t.open[key] = openSpan{at: at, req: req, pcomp: pcomp, pname: pname, kind: kind}
 }
 
 // evictStalest drops the oldest open span and counts it leaked. Ties
@@ -143,9 +203,9 @@ func (t *Tracer) evictStalest() {
 	var oldest spanKey
 	oldestAt := -1.0
 	first := true
-	for k, at := range t.open {
-		if first || at < oldestAt || (at == oldestAt && keyLess(k, oldest)) { //detcheck:floateq exact tie on recorded timestamps
-			oldest, oldestAt, first = k, at, false //detcheck:ordered winner is total-ordered by (at, key)
+	for k, os := range t.open {
+		if first || os.at < oldestAt || (os.at == oldestAt && keyLess(k, oldest)) { //detcheck:floateq exact tie on recorded timestamps
+			oldest, oldestAt, first = k, os.at, false //detcheck:ordered winner is total-ordered by (at, key)
 		}
 	}
 	if !first {
@@ -172,21 +232,40 @@ func (t *Tracer) End(at float64, component, name string, id uint64) {
 		return
 	}
 	key := spanKey{component, name, id}
-	start, ok := t.open[key]
+	os, ok := t.open[key]
 	if !ok {
 		t.record(Event{At: at, Component: component, Name: name + ":end-unmatched",
 			Detail: fmt.Sprintf("id=%d", id)})
 		return
 	}
 	delete(t.open, key)
-	t.record(Event{At: start, Component: component, Name: name, Dur: at - start, ID: id})
+	t.record(Event{At: os.at, Component: component, Name: name, Dur: at - os.at, ID: id,
+		Req: os.req, PComp: os.pcomp, PName: os.pname, Kind: os.kind})
+	t.recordHist(component, name, at-os.at)
+}
+
+// Span records an already-completed span directly, bypassing the open
+// table: the caller knows both endpoints (straggler waits, wire/queue
+// splits, tail keeps). It feeds the component/name histogram exactly
+// like a Begin/End pair.
+func (t *Tracer) Span(start, end float64, component, name string, id, req uint64, pcomp, pname string, kind Kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.record(Event{At: start, Component: component, Name: name, Detail: detail,
+		Dur: end - start, ID: id, Req: req, PComp: pcomp, PName: pname, Kind: kind})
+	t.recordHist(component, name, end-start)
+}
+
+// recordHist feeds the per-label duration histogram under component/name.
+func (t *Tracer) recordHist(component, name string, dur float64) {
 	label := component + "/" + name
 	h, ok := t.hists[label]
 	if !ok {
 		h = metrics.NewLatencyHistogram()
 		t.hists[label] = h
 	}
-	h.Record(at - start)
+	h.Record(dur)
 }
 
 // PurgeOpen drops every open span that began before the given time,
@@ -196,8 +275,8 @@ func (t *Tracer) PurgeOpen(before float64) {
 	if t == nil {
 		return
 	}
-	for k, at := range t.open {
-		if at < before {
+	for k, os := range t.open {
+		if os.at < before {
 			delete(t.open, k)
 			t.leaked++
 		}
@@ -243,6 +322,36 @@ func (t *Tracer) Dropped() uint64 {
 		return 0
 	}
 	return t.dropped
+}
+
+// Recorded reports the total number of events ever recorded (including
+// ones since overwritten). Use it as a cursor with EventsSince to
+// slice per-run windows out of a long-lived ring.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return uint64(len(t.events)) + t.dropped
+}
+
+// EventsSince returns the events recorded at or after the given
+// cursor (a prior Recorded() reading) that are still in the ring, in
+// record order. Events the ring has already overwritten are gone; the
+// caller sees only the surviving suffix.
+func (t *Tracer) EventsSince(cursor uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	all := t.Events()
+	oldest := t.dropped // absolute index of the first surviving event
+	if cursor <= oldest {
+		return all
+	}
+	skip := cursor - oldest
+	if skip >= uint64(len(all)) {
+		return nil
+	}
+	return all[skip:]
 }
 
 // SpanStats summarizes one span label. Count, Mean and Max are exact;
@@ -328,6 +437,12 @@ func (t *Tracer) Dump(w io.Writer) {
 // "C". Timestamps are virtual microseconds. Output is deterministic:
 // events appear in ring order and tids are assigned in order of first
 // appearance.
+//
+// Request-scoped spans (Req != 0) additionally carry their req id and
+// parent label in args and are stitched together with flow events
+// ("s" on the request's first recorded span, "t" on the rest, flow id
+// = Req), so the viewer nests a request's stages under one arrow chain
+// instead of rendering unrelated flat lanes.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, "[]\n")
@@ -364,6 +479,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
 			tids[comp], quoteJSON(comp)))
 	}
+	flowSeen := make(map[uint64]bool)
 	for _, ev := range events {
 		ts := usec(ev.At)
 		tid := tids[ev.Component]
@@ -373,8 +489,25 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				quoteJSON(ev.Name), tid, ts, jsonFloat(ev.Value)))
 		case ev.Dur > 0:
 			args := fmt.Sprintf(`{"id":%d}`, ev.ID)
+			if ev.Req != 0 {
+				parent := "root"
+				if ev.PComp != "" || ev.PName != "" {
+					parent = ev.PComp + "/" + ev.PName
+				}
+				args = fmt.Sprintf(`{"id":%d,"req":%d,"parent":%s,"kind":%s}`,
+					ev.ID, ev.Req, quoteJSON(parent), quoteJSON(ev.Kind.String()))
+			}
 			emit(fmt.Sprintf(`{"name":%s,"ph":"B","pid":1,"tid":%d,"ts":%s,"args":%s}`,
 				quoteJSON(ev.Name), tid, ts, args))
+			if ev.Req != 0 {
+				// Flow arrows stitch a request's spans across tracks.
+				ph := "t"
+				if !flowSeen[ev.Req] {
+					ph, flowSeen[ev.Req] = "s", true
+				}
+				emit(fmt.Sprintf(`{"name":"req","cat":"req","ph":%s,"pid":1,"tid":%d,"ts":%s,"id":%d}`,
+					quoteJSON(ph), tid, ts, ev.Req))
+			}
 			emit(fmt.Sprintf(`{"name":%s,"ph":"E","pid":1,"tid":%d,"ts":%s}`,
 				quoteJSON(ev.Name), tid, usec(ev.At+ev.Dur)))
 		default:
